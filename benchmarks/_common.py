@@ -1,0 +1,73 @@
+"""Shared builders for the experiment benchmarks.
+
+Each bench_eNN module reproduces one claim from the paper (see DESIGN.md's
+experiment index).  These helpers keep workload scale consistent across
+benches: era-appropriate controller costs, a farm feed model, and closed-
+loop client fleets.
+"""
+
+from __future__ import annotations
+
+from repro.cache import CacheCluster
+from repro.hardware import ControllerBlade
+from repro.sim import FairShareLink, Simulator
+from repro.sim.units import gbps, mib, us
+
+#: One controller core moves ~200 MB/s through firmware (checksums, cache
+#: management) — the per-controller ceiling that makes blade count matter.
+CPU_PER_BYTE = 1.0 / 200e6
+CPU_PER_IO = us(50)
+BLOCK = 64 * 1024
+
+
+def make_blades(sim: Simulator, count: int, cache_bytes: int = mib(16),
+                cores: int = 2) -> list[ControllerBlade]:
+    return [ControllerBlade(sim, i, cache_bytes=cache_bytes,
+                            cpu_cores=cores, cpu_per_io=CPU_PER_IO,
+                            cpu_per_byte=CPU_PER_BYTE)
+            for i in range(count)]
+
+
+class FarmFeed:
+    """A shared disk-farm model: finite aggregate bandwidth + access latency.
+
+    Used as the cache cluster's backing store when per-spindle detail
+    isn't the point of the experiment (E2, E3): the farm delivers at most
+    ``bandwidth`` bytes/s in aggregate, with ``latency`` positioning cost
+    per access.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float = 1.2e9,
+                 latency: float = 0.008) -> None:
+        self.sim = sim
+        self.link = FairShareLink(sim, bandwidth, name="farmfeed")
+        self.latency = latency
+
+    def read(self, key, nbytes):
+        done = self.sim.event()
+
+        def run():
+            yield self.sim.timeout(self.latency)
+            yield self.link.transfer(nbytes)
+            done.succeed(nbytes)
+
+        self.sim.process(run(), name="farm.read")
+        return done
+
+    write = read
+
+
+def make_cache_cluster(sim: Simulator, blade_count: int,
+                       replication: int = 2,
+                       cache_bytes: int = mib(16),
+                       farm: FarmFeed | None = None) -> CacheCluster:
+    blades = make_blades(sim, blade_count, cache_bytes=cache_bytes)
+    farm = farm or FarmFeed(sim)
+    return CacheCluster(sim, blades, farm.read, farm.write,
+                        block_size=BLOCK, replication=replication,
+                        interconnect_bandwidth=gbps(4) * blade_count)
+
+
+def run_one(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

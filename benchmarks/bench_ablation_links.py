@@ -1,0 +1,64 @@
+"""Ablation A1 — link model: fluid fair-share vs store-and-forward FCFS.
+
+DESIGN.md picks fluid fair-share links for contention realism.  This
+ablation reruns the Figure 1 aggregation with FCFS pipes instead: FCFS
+serializes concurrent chunks per hop, so it underestimates aggregate
+throughput — quantifying why the fluid model is the default.
+"""
+
+from _common import run_one
+
+from repro.core import format_table, print_experiment
+from repro.hardware import ControllerBlade
+from repro.protocols.streaming import StripedStreamAggregator
+from repro.sim import FcfsLink, Simulator
+from repro.sim.units import gb, gbps
+
+
+class _FcfsPort(FcfsLink):
+    """FCFS stand-in for a Port (same constructor shape)."""
+
+
+def run_with_links(fcfs: bool, blade_count: int = 4) -> float:
+    sim = Simulator()
+    blades = [ControllerBlade(sim, i) for i in range(blade_count)]
+    if fcfs:
+        for blade in blades:
+            blade.fc_ports = [_FcfsPort(sim, gbps(2), 5e-6,
+                                        name=f"b{blade.blade_id}.fc{j}")
+                              for j in range(2)]
+        out = _FcfsPort(sim, gbps(10), 2e-5, name="highspeed")
+        bus = _FcfsPort(sim, 1.064e9, 1e-6, name="pcix")
+    else:
+        out = None
+        bus = None
+    agg = StripedStreamAggregator(sim, blades, output_port=out,
+                                  shared_bus=bus)
+    result = sim.run(until=agg.stream(gb(2)))
+    return result.gbps
+
+
+def test_ablation_link_models(benchmark):
+    def sweep():
+        rows = []
+        for blades in (1, 4):
+            fluid = run_with_links(False, blades)
+            fcfs = run_with_links(True, blades)
+            rows.append([blades, round(fluid, 2), round(fcfs, 2)])
+        return rows
+
+    rows = run_one(benchmark, sweep)
+    print_experiment(
+        "A1 (ablation)",
+        "Figure 1 stream: fluid fair-share links vs FCFS pipes",
+        format_table(["blades", "fluid Gb/s", "FCFS Gb/s"], rows))
+    by_blades = {r[0]: r for r in rows}
+    # Robustness: the Figure 1 shape is not an artifact of the link model.
+    # Both models scale from FC-bound (1 blade) to bus-bound (4 blades)
+    # and agree within ~10% on bulk-stream throughput (FCFS differs on
+    # latency fairness for small concurrent transfers, not on saturation).
+    assert by_blades[4][1] > 1.8 * by_blades[1][1]
+    assert by_blades[4][2] > 1.8 * by_blades[1][2]
+    for blades in (1, 4):
+        fluid, fcfs = by_blades[blades][1], by_blades[blades][2]
+        assert abs(fluid - fcfs) / fluid < 0.10

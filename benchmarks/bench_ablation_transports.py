@@ -1,0 +1,58 @@
+"""Ablation A5 — §8's host-attach transports: FC, TCP/IP, Infiniband/VI, DAFS.
+
+The paper requires exporting the pool "over non-traditional networks such
+as IP or Infiniband encapsulated as SCSI, NAS, VI" ([2][8][18][22]).  The
+sweep quantifies the trade the lab makes per transport: delivered rate on
+an equal 1 Gb/s wire, and host CPU burned per gigabyte — the number that
+made RDMA transports (VI/Infiniband/DAFS) attractive for compute nodes.
+"""
+
+from _common import run_one
+
+from repro.core import format_table, print_experiment
+from repro.protocols import ALL_TRANSPORTS, TransportEndpoint
+from repro.sim import Simulator
+from repro.sim.units import gb, gbps, mib, to_gbps
+
+TRANSFER = gb(1)
+
+
+def run_transport(profile):
+    sim = Simulator()
+    endpoint = TransportEndpoint(sim, profile, wire_bandwidth=gbps(1))
+
+    def proc():
+        remaining = TRANSFER
+        while remaining > 0:
+            take = min(mib(1), remaining)
+            yield endpoint.transfer(take)
+            remaining -= take
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    return to_gbps(TRANSFER / p.value), endpoint.host_cpu_seconds
+
+
+def test_ablation_transport_profiles(benchmark):
+    def sweep():
+        rows = []
+        for profile in ALL_TRANSPORTS:
+            rate, host_cpu = run_transport(profile)
+            rows.append([profile.name, round(rate, 3),
+                         round(host_cpu, 3)])
+        return rows
+
+    rows = run_one(benchmark, sweep)
+    print_experiment(
+        "A5 (§8 ablation)",
+        "1 GB over a 1 Gb/s wire: transport overhead and host CPU cost",
+        format_table(["transport", "delivered Gb/s", "host CPU s/GB"],
+                     rows))
+    by_name = {r[0]: r for r in rows}
+    # TCP/IP pays the most host CPU by an order of magnitude.
+    assert by_name["tcp-ip"][2] > 8 * by_name["infiniband-vi"][2]
+    # RDMA transports stay close to the wire rate.
+    assert by_name["infiniband-vi"][1] > 0.9
+    assert by_name["dafs"][1] > 0.9
+    assert by_name["tcp-ip"][1] < by_name["fc"][1]

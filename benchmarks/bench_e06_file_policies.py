@@ -1,0 +1,90 @@
+"""E6 — §4: per-file policy metadata beats volume-level policy.
+
+Claims: extended metadata can "override cache retention priorities" and
+"override the automatic selection of RAID type" per file, "rather than on
+a volume-by-volume basis".
+
+Reproduces: (a) cache hit ratio for a priority-pinned hot file while a
+bulk scan floods the cache, with and without per-file retention priority;
+(b) small-write service cost under per-file RAID override (RAID10 for the
+write-hot file) vs one volume-wide RAID5.
+"""
+
+from _common import run_one
+
+from repro.cache import BlockCache
+from repro.core import format_table, print_experiment
+from repro.hardware import make_disk_farm
+from repro.raid import RaidArray, RaidLevel
+from repro.sim import Simulator
+
+CACHE_BLOCKS = 256
+HOT_BLOCKS = 64
+SCAN_BLOCKS = 4096
+
+
+def retention_run(hot_priority: int) -> float:
+    """Interleave hot-file rereads with a cold scan; return hot hit ratio."""
+    cache = BlockCache(CACHE_BLOCKS)
+    hot_hits = 0
+    hot_lookups = 0
+    for i in range(HOT_BLOCKS):
+        cache.insert(("hot", i), priority=hot_priority)
+    for i in range(SCAN_BLOCKS):
+        cache.insert(("scan", i), priority=0)
+        if i % 16 == 0:
+            key = ("hot", (i // 16) % HOT_BLOCKS)
+            hot_lookups += 1
+            if cache.lookup(key) is not None:
+                hot_hits += 1
+            else:
+                cache.insert(key, priority=hot_priority)
+    return hot_hits / hot_lookups
+
+
+def raid_write_cost(level: RaidLevel) -> float:
+    """Mean simulated latency of 64 small random writes on a 4-disk array."""
+    sim = Simulator()
+    arr = RaidArray(sim, make_disk_farm(sim, 4, 4096 * 64 * 1024), level,
+                    chunk_size=64 * 1024)
+
+    def client():
+        for i in range(64):
+            offset = (i * 37 % 512) * 64 * 1024
+            yield arr.write(offset, 64 * 1024)
+
+    p = sim.process(client())
+    sim.run(until=p)
+    return sim.now / 64
+
+
+def test_e06a_cache_retention_priority(benchmark):
+    def run():
+        return retention_run(0), retention_run(8)
+
+    flat, prioritized = run_one(benchmark, run)
+    print_experiment(
+        "E6a (§4)",
+        "hot-file cache hit ratio while a bulk scan floods the cache",
+        format_table(["policy", "hot-file hit ratio"],
+                     [["volume-level (no per-file priority)",
+                       round(flat, 3)],
+                      ["per-file retention priority", round(prioritized, 3)]]))
+    assert prioritized > 0.95    # pinned: the scan cannot evict it
+    assert flat < 0.5            # LRU flushes the hot file
+
+
+def test_e06b_per_file_raid_override(benchmark):
+    def run():
+        return raid_write_cost(RaidLevel.RAID5), raid_write_cost(RaidLevel.RAID10)
+
+    raid5_ms, raid10_ms = [x * 1000 for x in run_one(benchmark, run)]
+    print_experiment(
+        "E6b (§4)",
+        "small random writes: volume-wide RAID5 vs per-file RAID10 override",
+        format_table(["layout", "mean write ms"],
+                     [["RAID5 (read-modify-write penalty)",
+                       round(raid5_ms, 2)],
+                      ["RAID10 via per-file override", round(raid10_ms, 2)]]))
+    # The classic small-write argument: RMW makes RAID5 notably slower.
+    assert raid5_ms > 1.5 * raid10_ms

@@ -1,0 +1,97 @@
+"""E7 — §5.1 / §8.1: in-stream hardware encryption at wire speed.
+
+Claim: "with sufficient intelligence on the controller blade ...
+encryption could be accomplished at wire-speed"; software crypto on the
+controller CPU cannot keep up with the Fibre Channel feed.
+
+Reproduces: delivered stream throughput for crypto off / software /
+hardware-assisted, plus the functional proof that at-rest data is
+unreadable ciphertext.
+"""
+
+from _common import run_one
+
+from repro.core import format_table, print_experiment
+from repro.security import CryptoCostModel, EncryptedBlockStore, StreamCipher
+from repro.sim import FairShareLink, Simulator
+from repro.sim.units import gb, gbps, mib, to_gbps
+
+CHUNK = mib(4)
+TOTAL = gb(2)
+
+
+def stream_with_crypto(mode: str) -> float:
+    """Cut-through pipeline: disk feed -> crypto engine -> client link.
+
+    The in-stream engine (§5.1) is a rate-limited stage the data flows
+    through: software crypto runs at the controller CPU's cipher rate,
+    the hardware engine near wire speed.  Returns delivered Gb/s.
+    """
+    from repro.hardware.ports import NetworkPath
+    from repro.sim.resources import Resource
+
+    sim = Simulator()
+    model = CryptoCostModel()
+    hops = [FairShareLink(sim, gbps(4), name="fc-feed")]
+    if mode != "off":
+        rate = (model.software_rate if mode == "software"
+                else model.hardware_rate)
+        hops.append(FairShareLink(sim, rate, name=f"crypto-{mode}"))
+    hops.append(FairShareLink(sim, gbps(4), name="client"))
+    path = NetworkPath(hops)
+
+    def run():
+        start = sim.now
+        slots = Resource(sim, capacity=8)
+        pending = []
+        remaining = TOTAL
+        while remaining > 0:
+            take = min(CHUNK, remaining)
+            remaining -= take
+            req = slots.request()
+            yield req
+            ev = path.transfer(take)
+            ev.add_callback(lambda _e, r=req: slots.release(r))
+            pending.append(ev)
+        yield sim.all_of(pending)
+        return TOTAL / (sim.now - start)
+
+    p = sim.process(run())
+    sim.run(until=p)
+    return to_gbps(p.value)
+
+
+def test_e07_encryption_at_wire_speed(benchmark):
+    def sweep():
+        return {mode: stream_with_crypto(mode)
+                for mode in ("off", "software", "hardware")}
+
+    rates = run_one(benchmark, sweep)
+    rows = [[mode, round(rate, 2)] for mode, rate in rates.items()]
+    print_experiment(
+        "E7 (§5.1/§8.1)",
+        "stream throughput with in-stream encryption",
+        format_table(["crypto engine", "delivered Gb/s"], rows))
+    # Software crypto collapses the stream; the hardware engine keeps it
+    # within ~25% of the cleartext rate ("wire speed").
+    assert rates["software"] < 0.5 * rates["off"]
+    assert rates["hardware"] > 0.75 * rates["off"]
+
+
+def test_e07_functional_at_rest_protection(benchmark):
+    def run():
+        store = EncryptedBlockStore(StreamCipher(bytes(range(16))))
+        secret = b"shot 4242 diagnostics: q=3.1, beta=2.2%"
+        store.write(7, secret)
+        return store.read(7), store.raw_ciphertext(7), secret
+
+    plaintext, ciphertext, secret = run_one(benchmark, run)
+    print_experiment(
+        "E7b (§5.1)",
+        "at-rest encryption: what the owner vs the disk thief reads",
+        format_table(["view", "bytes"],
+                     [["owner (through controller)", plaintext.decode()],
+                      ["thief (raw platters)", ciphertext[:20].hex()]]))
+    assert plaintext == secret
+    assert secret not in ciphertext
+    assert ciphertext != secret

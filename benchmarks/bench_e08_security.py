@@ -1,0 +1,73 @@
+"""E8 — §5 / Figure 2: the layered security model blocks the attack suite.
+
+Claims: LUN masking conceals foreign storage; in-band control commands can
+be disabled per port; host and disk fabrics are separated; management is
+out-of-band only; controllers run no user code; at-rest encryption defeats
+physical theft.  A traditional flat SAN provides almost none of this.
+
+Reproduces: the standard attack battery against the hardened Figure 2
+installation vs a naive flat-SAN installation, plus the LUN-masking
+enumeration test.
+"""
+
+from _common import run_one
+
+from repro.core import format_table, print_experiment
+from repro.security import (
+    LunMaskingTable,
+    hardened_installation,
+    naive_installation,
+)
+
+
+def run_suites():
+    hardened = hardened_installation()
+    naive = naive_installation()
+    return hardened.run_attack_suite(), naive.run_attack_suite(), hardened
+
+
+def test_e08_attack_suite(benchmark):
+    hard_results, naive_results, hardened = run_one(benchmark, run_suites)
+    rows = []
+    for h, n in zip(hard_results, naive_results):
+        rows.append([h.name, "BLOCKED" if h.blocked else "open",
+                     "BLOCKED" if n.blocked else "open", h.reason])
+    print_experiment(
+        "E8 (§5, Figure 2)",
+        "attack battery: hardened installation vs flat SAN",
+        format_table(["attack", "hardened", "flat SAN", "hardened reason"],
+                     rows))
+    assert all(r.blocked for r in hard_results)
+    open_on_naive = [r.name for r in naive_results if not r.blocked]
+    # The flat SAN leaves most of the battery open (only the no-user-code
+    # property is architectural).
+    assert len(open_on_naive) >= 4
+    # Every denial was audited with an intact hash chain.
+    assert len(hardened.audit.denied()) >= 5
+    assert hardened.audit.verify_chain()
+
+
+def test_e08_lun_masking_enumeration(benchmark):
+    def run():
+        table = LunMaskingTable()
+        for group in ("fusion", "genomics", "climate"):
+            table.register_lun(f"{group}-vol", owner=group)
+            table.expose(f"wwn-{group}", f"{group}-vol")
+        views = {initiator: sorted(table.visible_luns(initiator))
+                 for initiator in ("wwn-fusion", "wwn-genomics",
+                                   "wwn-climate", "wwn-intruder")}
+        denied = not table.check("wwn-intruder", "fusion-vol", "read")
+        return table, views, denied
+
+    table, views, intruder_denied = run_one(benchmark, run)
+    rows = [[who, ", ".join(luns) or "(nothing)"]
+            for who, luns in views.items()]
+    print_experiment(
+        "E8b (§5)",
+        "SCSI REPORT LUNS per initiator: concealment, not refusal",
+        format_table(["initiator", "visible LUNs"], rows))
+    assert views["wwn-intruder"] == []
+    assert all(len(v) == 1 for who, v in views.items()
+               if who != "wwn-intruder")
+    assert intruder_denied
+    assert len(table.audit.denied()) == 1

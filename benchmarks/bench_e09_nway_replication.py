@@ -1,0 +1,98 @@
+"""E9 — §6.1: N-way cache replication survives N−1 controller failures.
+
+Claim: "The proposed controller system would allow for N-Way replication
+of write data across controller caches, allowing N-1 levels of failure
+without data loss" — whereas Active-Active/Active-Passive pairs "can
+survive at most a single point-of-failure without data loss."
+
+Reproduces: dirty-data loss after k simultaneous controller failures, for
+replication factors N = 1..4, against the dual-controller baseline.
+"""
+
+from _common import FarmFeed, make_cache_cluster, run_one
+
+from repro.baseline import DualControllerArray
+from repro.core import format_table, print_experiment
+from repro.sim import Simulator
+
+BLADES = 6
+WRITES = 64
+
+
+def nway_loss(replication: int, kills: int) -> int:
+    """Write a burst, then kill ``kills`` blades (worst case: always a
+    current holder of the block); return lost dirty blocks."""
+    sim = Simulator()
+    cluster = make_cache_cluster(sim, BLADES, replication=replication,
+                                 farm=FarmFeed(sim))
+
+    def burst():
+        for i in range(WRITES):
+            yield cluster.write(i % BLADES, ("burst", i),
+                                replicas=replication)
+        for _ in range(kills):
+            # Adversarial: kill the blade holding the most dirty state.
+            holders: dict[int, int] = {}
+            for i in range(WRITES):
+                entry = cluster.directory.entry(("burst", i))
+                if entry and entry.dirty:
+                    for holder in entry.holders():
+                        holders[holder] = holders.get(holder, 0) + 1
+            live = [b for b in cluster.live_blades()]
+            if not holders or not live:
+                break
+            victim = max((b for b in live if b in holders),
+                         key=lambda b: holders[b], default=live[0])
+            cluster.blades[victim].fail()
+            cluster.on_blade_fail(victim)
+
+    p = sim.process(burst())
+    sim.run(until=p)
+    return len(cluster.lost_dirty_blocks)
+
+
+def baseline_loss(kills: int) -> int:
+    sim = Simulator()
+    array = DualControllerArray(sim, active_active=True)
+
+    def burst():
+        for i in range(WRITES):
+            yield array.write(("burst", i))
+        for k in range(min(kills, 2)):
+            array.fail_controller(k)
+
+    p = sim.process(burst())
+    sim.run(until=p)
+    return len(array.lost_dirty_blocks)
+
+
+def test_e09_nway_replication_survives_n_minus_1(benchmark):
+    def sweep():
+        rows = []
+        for kills in (1, 2, 3):
+            row = [kills]
+            for n in (1, 2, 3, 4):
+                row.append(nway_loss(n, kills))
+            row.append(baseline_loss(kills))
+            rows.append(row)
+        return rows
+
+    rows = run_one(benchmark, sweep)
+    print_experiment(
+        "E9 (§6.1)",
+        f"dirty blocks lost out of {WRITES} after k controller failures",
+        format_table(["failures", "N=1", "N=2", "N=3", "N=4",
+                      "active-active pair"], rows))
+    loss = {row[0]: row[1:] for row in rows}
+    # N-way survives exactly N-1 failures.
+    assert loss[1] == [0, 0, 0, 0, 0][:0] or True  # readability anchor
+    k1 = loss[1]
+    assert k1[0] > 0            # N=1: one failure already loses data
+    assert k1[1] == k1[2] == k1[3] == 0
+    assert k1[4] == 0           # the pair also survives one failure
+    k2 = loss[2]
+    assert k2[1] > 0            # N=2 cannot take two failures
+    assert k2[2] == k2[3] == 0  # N=3/4 can
+    assert k2[4] > 0            # the pair loses everything at two
+    k3 = loss[3]
+    assert k3[2] > 0 and k3[3] == 0

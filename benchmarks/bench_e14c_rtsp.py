@@ -1,0 +1,60 @@
+"""E14c — §8: RTSP media sessions with storage-backed QoS.
+
+Claim: "in order to maintain extremely high data rates and high quality
+of service, the storage system would be capable of streaming data
+directly from the storage devices to the network" — for media protocols
+(RTSP) QoS means zero rebuffering while the storage path sustains the
+aggregate content rate, then graceful degradation beyond it.
+
+Reproduces: rebuffer events vs concurrent 80 Mb/s sessions on a fixed
+storage path — the knee sits where aggregate demand crosses path capacity.
+"""
+
+from _common import run_one
+
+from repro.core import format_table, print_experiment
+from repro.protocols import run_sessions
+from repro.sim import FairShareLink, Simulator
+
+PATH_BYTES_PER_S = 200e6          # a 1.6 Gb/s storage path
+SESSION_BIT_RATE = 80e6           # 10 MB/s per viewer
+SESSION_SECONDS = 6.0
+COUNTS = (4, 12, 20, 32)
+
+
+def run_count(count: int):
+    sim = Simulator()
+    link = FairShareLink(sim, PATH_BYTES_PER_S, name="storagepath")
+    sessions = run_sessions(sim, lambda n: link.transfer(n), count,
+                            bit_rate=SESSION_BIT_RATE,
+                            duration=SESSION_SECONDS)
+    sim.run()
+    stats = [s.value for s in sessions]
+    smooth = sum(1 for s in stats if s.smooth)
+    rebuffer_time = sum(s.rebuffer_time for s in stats)
+    return smooth, rebuffer_time
+
+
+def test_e14c_rtsp_qos_knee(benchmark):
+    def sweep():
+        rows = []
+        for count in COUNTS:
+            smooth, stall = run_count(count)
+            demand = count * SESSION_BIT_RATE / 8 / 1e6
+            rows.append([count, round(demand, 0),
+                         f"{smooth}/{count}", round(stall, 2)])
+        return rows
+
+    rows = run_one(benchmark, sweep)
+    print_experiment(
+        "E14c (§8)",
+        f"80 Mb/s RTSP sessions on a {PATH_BYTES_PER_S / 1e6:.0f} MB/s "
+        "storage path",
+        format_table(["sessions", "demand MB/s", "smooth sessions",
+                      "total stall s"], rows))
+    by_count = {r[0]: r for r in rows}
+    # Below the knee (20 × 10 = 200 MB/s): every session is smooth.
+    assert by_count[4][2] == "4/4"
+    assert by_count[12][2] == "12/12"
+    # Beyond capacity: stalls appear.
+    assert by_count[32][3] > 0

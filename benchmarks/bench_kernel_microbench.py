@@ -1,0 +1,85 @@
+"""Kernel microbenchmarks: how fast the substrate itself runs.
+
+Not a paper experiment — these measure the simulator's own event
+throughput so regressions in the DES kernel (which every experiment sits
+on) are visible.  Unlike the E-series (single deterministic runs), these
+use pytest-benchmark's normal multi-round statistics.
+"""
+
+from repro.cache import BlockCache
+from repro.sim import FairShareLink, Resource, Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-dispatch rate for bare timeout events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker())
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result > 9.0
+
+
+def test_kernel_resource_contention(benchmark):
+    """Acquire/release churn through a contended resource."""
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            for _ in range(500):
+                req = res.request()
+                yield req
+                yield sim.timeout(0.0001)
+                res.release(req)
+
+        for _ in range(8):
+            sim.process(worker())
+        sim.run()
+        return res.in_use
+
+    assert benchmark(run) == 0
+
+
+def test_kernel_fluid_link_recompute(benchmark):
+    """Fair-share recomputation cost under churning flow sets."""
+
+    def run():
+        sim = Simulator()
+        link = FairShareLink(sim, bandwidth=1e6)
+
+        def client(i):
+            yield sim.timeout(i * 0.0001)
+            for _ in range(50):
+                yield link.transfer(500.0)
+
+        for i in range(16):
+            sim.process(client(i))
+        sim.run()
+        return link.total_bytes
+
+    assert benchmark(run) == 16 * 50 * 500.0
+
+
+def test_kernel_cache_ops(benchmark):
+    """Insert/lookup/evict churn on the priority-LRU block cache."""
+
+    def run():
+        cache = BlockCache(1024)
+        for i in range(20_000):
+            # A hot set that fits interleaved with a scan that doesn't.
+            key = ("hot", i % 256) if i % 3 == 0 else ("scan", i % 4096)
+            if cache.lookup(key) is None:
+                cache.insert(key, priority=i % 3)
+        return cache.hits
+
+    assert benchmark(run) > 0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Storage as a utility: DMSDs, charge-back, and user separation (§3, §5).
+
+Three research groups share one physical pool.  Each gets an enormous
+demand-mapped virtual disk (no sizing meetings ever again), LUN masking
+keeps them out of each other's data, at-rest encryption protects the
+warranty-returned drive, and the monthly bill reflects actual usage.
+
+Run:  python examples/multi_tenant_lab.py
+"""
+
+from repro.core import format_table
+from repro.security import (
+    EncryptedBlockStore,
+    LunMaskingTable,
+    StreamCipher,
+    derive_key,
+)
+from repro.sim import Simulator
+from repro.sim.units import GiB, TiB, fmt_bytes, gib
+from repro.virt import (
+    Allocator,
+    ChargebackMeter,
+    DemandMappedDevice,
+    StoragePool,
+    take_snapshot,
+)
+
+print(__doc__)
+
+sim = Simulator()
+PAGE = 1 << 20  # 1 MiB allocation unit
+allocator = Allocator([StoragePool("farm", 2 * TiB, PAGE)])
+meter = ChargebackMeter(sim)
+
+# Each group asks for "a petabyte, just in case" — it costs nothing until
+# written (§3: demand mapped, sized up to 1.5 yottabytes).
+groups = {}
+for name in ("fusion", "genomics", "climate"):
+    dmsd = DemandMappedDevice(f"{name}-vol", int(1e15), allocator, owner=name)
+    groups[name] = dmsd
+    meter.register(dmsd)
+
+masking = LunMaskingTable()
+for name in groups:
+    masking.register_lun(f"{name}-vol", owner=name)
+    masking.expose(f"wwn-{name}-host", f"{name}-vol")
+
+
+def month_of_usage():
+    # Fusion writes heavily, genomics moderately, climate barely.
+    usage = {"fusion": 300, "genomics": 80, "climate": 12}  # GiB over month
+    for day in range(30):
+        for name, total_gib in usage.items():
+            daily = int(total_gib * GiB / 30)
+            offset = day * daily
+            groups[name].write(offset, daily)
+        meter.sample()
+        yield sim.timeout(86_400.0)
+    meter.sample()
+
+
+sim.process(month_of_usage())
+sim.run()
+
+rows = []
+for name, dmsd in groups.items():
+    rows.append([name, "1 PB (virtual)", fmt_bytes(dmsd.mapped_bytes),
+                 f"{meter.gib_hours(name):,.0f}",
+                 f"${meter.gib_hours(name) * 0.002:,.2f}"])
+print(format_table(
+    ["tenant", "provisioned", "actually used", "GiB-hours", "bill @ $0.002"],
+    rows, title="monthly charge-back (bills actual usage, not promises)"))
+print(f"\npool really consumed: {fmt_bytes(allocator.used_bytes)} of "
+      f"{fmt_bytes(allocator.capacity_bytes)}; "
+      f"resize tickets filed: {meter.total_admin_operations()}")
+
+# --- user separation: the masking table hides, not just denies ---------------
+print("\nLUN visibility per host (SCSI REPORT LUNS):")
+for name in groups:
+    visible = sorted(masking.visible_luns(f"wwn-{name}-host"))
+    print(f"  wwn-{name}-host sees {visible}")
+print("  wwn-genomics-host touching fusion-vol:",
+      "allowed" if masking.check("wwn-genomics-host", "fusion-vol", "read")
+      else "DENIED (and audited)")
+
+# --- at-rest encryption: the warranty-return scenario (§5.1) ------------------
+master = b"lab-master-secret-0123456789abcd"
+store = EncryptedBlockStore(StreamCipher(derive_key(master, "fusion-vol")))
+store.write(0, b"plasma shot 8812: confinement time 1.2s")
+print("\nwhat the owner reads back: ", store.read(0)[:39])
+print("what the drive thief reads:  ", store.raw_ciphertext(0)[:16].hex(),
+      "...")
+
+# --- instant snapshots for the monthly archive --------------------------------
+snap = take_snapshot(groups["climate"], "climate-eom", now=sim.now)
+print(f"\nsnapshot 'climate-eom' created: {fmt_bytes(snap.mapped_bytes)} "
+      f"referenced, {fmt_bytes(snap.unique_bytes())} unique (pure COW)")
+groups["climate"].write(0, gib(1))  # next month diverges
+print(f"after new writes, snapshot uniquely holds "
+      f"{fmt_bytes(snap.unique_bytes())}")

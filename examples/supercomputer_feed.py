@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Feeding big iron: Figure 1's striped 10 Gb/s stream, end to end.
+
+A supercomputer wants a single read stream faster than any one storage
+controller can deliver.  The example reproduces the paper's Figure 1: a
+large sequential read striped round-robin over controller blades, each
+contributing two 2 Gb/s Fibre Channel feeds, aggregated through a common
+PCI-X bus onto one 10 Gb Ethernet port.
+
+Run:  python examples/supercomputer_feed.py
+"""
+
+from repro.core import format_table
+from repro.protocols import figure1_configuration
+from repro.sim import Simulator
+from repro.sim.units import gb
+
+print(__doc__)
+
+rows = []
+for blade_count in (1, 2, 3, 4, 6, 8):
+    sim = Simulator()
+    aggregator = figure1_configuration(sim, blade_count=blade_count)
+    result = sim.run(until=aggregator.stream(gb(4)))
+    fc_feed_gbps = blade_count * 2 * 2.0
+    rows.append([blade_count, fc_feed_gbps, round(result.gbps, 2),
+                 round(result.elapsed, 2)])
+
+print(format_table(
+    ["blades", "FC feed Gb/s", "delivered Gb/s", "seconds for 4 GB"],
+    rows,
+    title="Figure 1: driving a 10 Gb/s port by striping over blades"))
+
+print("""
+Reading the curve:
+ * one blade is capped by its own 2x2 Gb/s Fibre Channel (~4 Gb/s);
+ * four blades saturate the shared PCI-X bus at ~8.5 Gb/s -- the paper's
+   "aggregate output ... in the neighborhood of 10 Gbs" (Section 8);
+ * blades beyond saturation add nothing for a single stream (they would
+   serve other streams instead).
+""")
+
+# What if the lab upgrades the shared bus (e.g. dual PCI-X bridges)?
+from repro.hardware.ports import Port  # noqa: E402
+from repro.sim.units import gbps  # noqa: E402
+
+sim = Simulator()
+aggregator = figure1_configuration(sim, blade_count=4)
+aggregator.shared_bus = Port(sim, 2 * 1.064e9, name="dual-pcix")
+result = sim.run(until=aggregator.stream(gb(4)))
+print(f"with a dual PCI-X bridge, 4 blades deliver {result.gbps:.2f} Gb/s "
+      f"(port limit is {gbps(10) * 8 / 1e9:.0f} Gb/s)")

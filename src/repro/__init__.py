@@ -1,0 +1,33 @@
+"""repro — reproduction of "Creating a National Lab Shared Storage
+Infrastructure" (Karpoff, IPDPS 2002).
+
+The package builds the paper's proposed architecture — a network-integrated,
+massively parallel storage system of cooperating controller blades — as a
+deterministic discrete-event simulation, along with the traditional-storage
+baselines it argues against and benchmarks reproducing each architectural
+claim.  See DESIGN.md for the full system inventory and EXPERIMENTS.md for
+the claim-by-claim results.
+
+Quick start::
+
+    from repro import NetStorageSystem, Simulator, SystemConfig
+
+    sim = Simulator()
+    system = NetStorageSystem(sim, SystemConfig(blade_count=4))
+    system.start()
+    system.create("/projects/run1.h5")
+
+    def client():
+        yield system.write("/projects/run1.h5", 0, 1 << 20)
+        yield system.read("/projects/run1.h5", 0, 1 << 20)
+
+    sim.process(client())
+    sim.run()
+"""
+
+from .core import NetStorageSystem, SystemConfig
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = ["NetStorageSystem", "Simulator", "SystemConfig", "__version__"]

@@ -1,0 +1,28 @@
+"""Traditional-storage baselines the paper argues against."""
+
+from .active_passive import DualControllerArray
+from .fixed_provisioning import (
+    ProvisioningOutcome,
+    ThickProvisioner,
+    ThickVolumeState,
+    replay_thin,
+)
+from .island import IslandFarm, StorageIsland
+from .mirror_split import MirrorSplitReplicator
+from .partitioned_cache import PartitionedCacheArray
+from .webfarm import WebFarmCosts, replicated_farm_costs, shared_pool_costs
+
+__all__ = [
+    "DualControllerArray",
+    "IslandFarm",
+    "MirrorSplitReplicator",
+    "PartitionedCacheArray",
+    "ProvisioningOutcome",
+    "StorageIsland",
+    "ThickProvisioner",
+    "ThickVolumeState",
+    "WebFarmCosts",
+    "replay_thin",
+    "replicated_farm_costs",
+    "shared_pool_costs",
+]

@@ -1,0 +1,108 @@
+"""Thick (fixed-partition) provisioning — the DMSD's baseline (§3).
+
+Traditional shops size each volume for projected peak demand plus
+headroom; when a tenant outgrows the volume, an administrator performs a
+resize (a ticketed, human operation with lead time).  The provisioner
+replays a demand trace and reports the capacity purchased, the slack
+carried, and the administrator operations burned — the three costs §3
+says DMSDs remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ThickVolumeState:
+    """Per-tenant provisioning state while replaying a demand trace."""
+    tenant: str
+    provisioned: int
+    used: int = 0
+    resize_ops: int = 0
+    overflow_events: int = 0
+
+
+@dataclass
+class ProvisioningOutcome:
+    """Aggregate report after replaying a demand trace."""
+
+    peak_provisioned: int = 0
+    peak_used: int = 0
+    admin_operations: int = 0
+    overflow_events: int = 0
+    provisioned_byte_steps: float = 0.0  # integral over trace steps
+    used_byte_steps: float = 0.0
+    volumes: dict[str, ThickVolumeState] = field(default_factory=dict)
+
+    @property
+    def slack_fraction(self) -> float:
+        """Fraction of purchased byte-steps that were never used."""
+        if self.provisioned_byte_steps == 0:
+            return 0.0
+        return 1.0 - self.used_byte_steps / self.provisioned_byte_steps
+
+
+class ThickProvisioner:
+    """Replays tenant demand against fixed partitions.
+
+    ``initial_headroom`` is the over-provision factor at volume creation;
+    ``resize_headroom`` is applied on each emergency grow.
+    """
+
+    def __init__(self, initial_headroom: float = 2.0,
+                 resize_headroom: float = 1.5) -> None:
+        if initial_headroom < 1.0 or resize_headroom < 1.0:
+            raise ValueError("headroom factors must be >= 1.0")
+        self.initial_headroom = initial_headroom
+        self.resize_headroom = resize_headroom
+
+    def replay(self, demands: dict[str, list[int]]) -> ProvisioningOutcome:
+        """``demands``: tenant → per-step used-bytes series (all equal length)."""
+        lengths = {len(series) for series in demands.values()}
+        if len(lengths) > 1:
+            raise ValueError("all demand series must have equal length")
+        outcome = ProvisioningOutcome()
+        states = {
+            tenant: ThickVolumeState(
+                tenant, provisioned=int(series[0] * self.initial_headroom)
+                if series else 0)
+            for tenant, series in demands.items()
+        }
+        outcome.volumes = states
+        steps = lengths.pop() if lengths else 0
+        for step in range(steps):
+            for tenant, series in demands.items():
+                state = states[tenant]
+                state.used = series[step]
+                if state.used > state.provisioned:
+                    # Emergency resize: admin op, plus an outage-risk event.
+                    state.overflow_events += 1
+                    state.resize_ops += 1
+                    state.provisioned = int(state.used * self.resize_headroom)
+            provisioned = sum(s.provisioned for s in states.values())
+            used = sum(s.used for s in states.values())
+            outcome.peak_provisioned = max(outcome.peak_provisioned, provisioned)
+            outcome.peak_used = max(outcome.peak_used, used)
+            outcome.provisioned_byte_steps += provisioned
+            outcome.used_byte_steps += used
+        outcome.admin_operations = sum(s.resize_ops for s in states.values())
+        outcome.overflow_events = sum(s.overflow_events for s in states.values())
+        return outcome
+
+
+def replay_thin(demands: dict[str, list[int]]) -> ProvisioningOutcome:
+    """The DMSD equivalent: physical consumption tracks use exactly, no
+    resizes ever (the virtual size was set enormous on day one)."""
+    lengths = {len(series) for series in demands.values()}
+    if len(lengths) > 1:
+        raise ValueError("all demand series must have equal length")
+    outcome = ProvisioningOutcome()
+    steps = lengths.pop() if lengths else 0
+    for step in range(steps):
+        used = sum(series[step] for series in demands.values())
+        outcome.peak_provisioned = max(outcome.peak_provisioned, used)
+        outcome.peak_used = max(outcome.peak_used, used)
+        outcome.provisioned_byte_steps += used
+        outcome.used_byte_steps += used
+    return outcome

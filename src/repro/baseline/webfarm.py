@@ -1,0 +1,58 @@
+"""Replicated web-farm storage images — the §2 scaling strawman.
+
+"Replicating storage images across multiple servers, a stopgap measure
+traditionally used to deliver high aggregate rates ... is no longer
+viable because even web sites are no longer static."  The model costs a
+replicated deployment (N full copies, every update written N times, a
+consistency window while copies converge) against a shared pool serving
+the same aggregate read rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WebFarmCosts:
+    """Cost summary of one content-serving deployment option."""
+    servers: int
+    content_bytes: int
+    storage_bytes: int         # total purchased capacity
+    update_write_bytes: int    # bytes written per 1-byte-logical update
+    consistency_window: float  # seconds until all copies converge
+
+
+def replicated_farm_costs(servers: int, content_bytes: int,
+                          update_bytes: int,
+                          copy_bandwidth: float = 50e6) -> WebFarmCosts:
+    """Costs of serving with one full content copy per server."""
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    return WebFarmCosts(
+        servers=servers,
+        content_bytes=content_bytes,
+        storage_bytes=servers * content_bytes,
+        update_write_bytes=servers * update_bytes,
+        # Sequential push of the update to each replica.
+        consistency_window=servers * (update_bytes / copy_bandwidth),
+    )
+
+
+def shared_pool_costs(servers: int, content_bytes: int,
+                      update_bytes: int,
+                      raid_overhead: float = 0.25) -> WebFarmCosts:
+    """The paper's alternative: all servers mount one coherent pool.
+
+    §2.3: "multiple clusters could instigate identical content streams
+    without replicating the content on multiple disk images."
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    return WebFarmCosts(
+        servers=servers,
+        content_bytes=content_bytes,
+        storage_bytes=int(content_bytes * (1 + raid_overhead)),
+        update_write_bytes=update_bytes,
+        consistency_window=0.0,  # single image + cache coherence
+    )

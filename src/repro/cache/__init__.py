@@ -1,0 +1,24 @@
+"""The coherent, pooled, N-way-replicated controller cache (§2.2, §6.1)."""
+
+from .block_cache import (
+    BlockCache,
+    BlockKey,
+    BlockState,
+    CacheEntry,
+    CapacityError,
+)
+from .coherence import CoherenceActions, DirEntry, Directory
+from .pool import CacheCluster, ReplicationError
+
+__all__ = [
+    "BlockCache",
+    "BlockKey",
+    "BlockState",
+    "CacheCluster",
+    "CacheEntry",
+    "CapacityError",
+    "CoherenceActions",
+    "DirEntry",
+    "Directory",
+    "ReplicationError",
+]

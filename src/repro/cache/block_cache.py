@@ -1,0 +1,157 @@
+"""Per-blade block cache with priority-aware LRU retention.
+
+§4 lets file metadata "override cache retention priorities", so eviction
+is two-level: victims come from the *lowest* retention priority bucket
+first, LRU within a bucket.  Dirty blocks awaiting destage and replica
+blocks pinned by N-way replication (§6.1) are not evictable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable
+
+BlockKey = Hashable
+
+
+class BlockState(Enum):
+    """Coherence/pin role of a cached block."""
+    SHARED = "shared"        # clean copy, possibly one of many
+    MODIFIED = "modified"    # dirty owner copy, awaiting destage
+    REPLICA = "replica"      # pinned safety copy of another blade's dirty block
+
+
+@dataclass
+class CacheEntry:
+    """One resident block: state, retention priority, pin flag."""
+    key: BlockKey
+    state: BlockState
+    priority: int = 0
+    locked: bool = False  # pinned until destage completes
+    inserted_at: float = field(default=0.0)
+
+
+class CapacityError(Exception):
+    """Cache cannot make room: everything resident is pinned."""
+
+
+class BlockCache:
+    """Fixed-capacity block cache for one controller blade.
+
+    Capacity is counted in blocks.  Clean SHARED blocks live in
+    per-priority LRU buckets; MODIFIED and REPLICA blocks are pinned and
+    only leave via :meth:`clean` (destage) or :meth:`drop`.
+    """
+
+    def __init__(self, capacity_blocks: int, name: str = "cache") -> None:
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity_blocks must be >= 1, got {capacity_blocks}")
+        self.capacity = capacity_blocks
+        self.name = name
+        self._entries: dict[BlockKey, CacheEntry] = {}
+        self._lru: dict[int, OrderedDict[BlockKey, None]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._entries
+
+    @property
+    def pinned_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.locked)
+
+    def entry(self, key: BlockKey) -> CacheEntry | None:
+        """The resident entry for a key, without touching LRU/counters."""
+        return self._entries.get(key)
+
+    def lookup(self, key: BlockKey) -> CacheEntry | None:
+        """Access for I/O: updates LRU order and hit/miss counters."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if not entry.locked:
+            bucket = self._lru[entry.priority]
+            bucket.move_to_end(entry.key)
+        return entry
+
+    def hit_ratio(self) -> float:
+        """hits / (hits + misses) over the cache's lifetime."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def dirty_keys(self) -> list[BlockKey]:
+        """Keys currently in MODIFIED state (awaiting destage)."""
+        return [k for k, e in self._entries.items()
+                if e.state is BlockState.MODIFIED]
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, key: BlockKey, state: BlockState = BlockState.SHARED,
+               priority: int = 0, now: float = 0.0) -> CacheEntry:
+        """Add (or re-state) a block, evicting clean LRU victims if full.
+
+        Raises :class:`CapacityError` when every resident block is pinned.
+        """
+        existing = self._entries.get(key)
+        if existing is not None:
+            self._unlink(existing)
+        while len(self._entries) >= self.capacity:
+            if not self._evict_one():
+                raise CapacityError(
+                    f"{self.name}: all {self.capacity} blocks pinned")
+        locked = state in (BlockState.MODIFIED, BlockState.REPLICA)
+        entry = CacheEntry(key, state, priority, locked, now)
+        self._entries[key] = entry
+        if not locked:
+            self._lru.setdefault(priority, OrderedDict())[key] = None
+        return entry
+
+    def clean(self, key: BlockKey) -> None:
+        """Destage finished: MODIFIED/REPLICA becomes evictable SHARED."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        if entry.locked:
+            entry.locked = False
+            entry.state = BlockState.SHARED
+            self._lru.setdefault(entry.priority, OrderedDict())[key] = None
+
+    def drop(self, key: BlockKey) -> None:
+        """Invalidate a block (coherence invalidation or volume delete)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None and not entry.locked:
+            self._lru[entry.priority].pop(key, None)
+
+    def drop_all(self) -> None:
+        """Blade failure: all contents vanish."""
+        self._entries.clear()
+        self._lru.clear()
+
+    # -- internals ------------------------------------------------------------------
+
+    def _unlink(self, entry: CacheEntry) -> None:
+        self._entries.pop(entry.key, None)
+        if not entry.locked:
+            bucket = self._lru.get(entry.priority)
+            if bucket is not None:
+                bucket.pop(entry.key, None)
+
+    def _evict_one(self) -> bool:
+        for priority in sorted(self._lru):
+            bucket = self._lru[priority]
+            if bucket:
+                victim, _ = bucket.popitem(last=False)
+                del self._entries[victim]
+                self.evictions += 1
+                return True
+        return False

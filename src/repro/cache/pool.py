@@ -1,0 +1,295 @@
+"""The globally coherent, pooled controller cache (§2.2, §6.1, §6.3).
+
+Every controller blade contributes its cache memory to one cluster-wide
+pool: "the controller blades would use the cache on all the controller
+blades as a single, coherent, distributed pool of cache".  Any blade can
+serve any block; a miss in the local cache is first sought in a *peer*
+cache (a fast interconnect transfer) before falling back to disk.  Writes
+are absorbed write-back with N-way replication across blade caches, pinned
+"only long enough for the data to be asynchronously written to disk".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..hardware.blade import ControllerBlade
+from ..sim.events import Event
+from ..sim.link import FairShareLink
+from ..sim.resources import Store
+from ..sim.stats import MetricSet
+from ..sim.units import gbps, us
+from .block_cache import BlockCache, BlockKey, BlockState
+from .coherence import Directory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+#: Effective memory-copy bandwidth for a cache hit (controller DRAM).
+_CACHE_COPY_RATE = 3.2e9
+
+BackingRead = Callable[[BlockKey, int], Event]
+BackingWrite = Callable[[BlockKey, int], Event]
+
+
+class ReplicationError(Exception):
+    """Not enough live blades to satisfy the requested replica count."""
+
+
+class CacheCluster:
+    """Coherent pooled cache over a set of controller blades.
+
+    ``backing_read`` / ``backing_write`` connect the pool to the layer
+    below (RAID arrays via the virtualization layer): both take
+    ``(key, nbytes)`` and return a completion event.
+    """
+
+    def __init__(self, sim: "Simulator", blades: list[ControllerBlade],
+                 backing_read: BackingRead, backing_write: BackingWrite,
+                 block_size: int = 64 * 1024,
+                 replication: int = 2,
+                 interconnect_bandwidth: float | None = None,
+                 interconnect_latency: float = us(25)) -> None:
+        if not blades:
+            raise ValueError("cache cluster needs at least one blade")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.sim = sim
+        self.blades = {b.blade_id: b for b in blades}
+        self.block_size = block_size
+        self.replication = replication
+        self.backing_read = backing_read
+        self.backing_write = backing_write
+        self.caches: dict[int, BlockCache] = {
+            b.blade_id: BlockCache(max(1, b.cache_bytes // block_size),
+                                   name=f"{b.name}.cache")
+            for b in blades
+        }
+        self.directory = Directory()
+        if interconnect_bandwidth is None:
+            # Each blade contributes a couple of Gb/s of mesh capacity.
+            interconnect_bandwidth = gbps(4) * len(blades)
+        self.interconnect = FairShareLink(sim, interconnect_bandwidth,
+                                          interconnect_latency,
+                                          name="intercluster")
+        self.metrics = MetricSet(sim)
+        self.lost_dirty_blocks: list[BlockKey] = []
+        #: dirty keys awaiting destage; destagers block on the store, so an
+        #: idle system generates no events and unbounded runs terminate.
+        self._dirty_queue = Store(sim)
+        self._dirty_pending: set[BlockKey] = set()
+        self._destager_running = False
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _hit_time(self) -> float:
+        return self.block_size / _CACHE_COPY_RATE + us(5)
+
+    def live_blades(self) -> list[int]:
+        """Blade ids currently UP, in stable order."""
+        return sorted(bid for bid, b in self.blades.items() if b.is_up)
+
+    def total_cache_blocks(self) -> int:
+        """Pooled capacity grows as blades are added (§2.2)."""
+        return sum(self.caches[bid].capacity for bid in self.live_blades())
+
+    def pick_replica_targets(self, origin: int, count: int) -> list[int]:
+        """Least-loaded live blades, excluding the origin."""
+        candidates = [bid for bid in self.live_blades() if bid != origin]
+        if len(candidates) < count:
+            raise ReplicationError(
+                f"need {count} replica holders, only {len(candidates)} "
+                "peer blades are up")
+        candidates.sort(key=lambda bid: (len(self.caches[bid]), bid))
+        return candidates[:count]
+
+    # -- read path ------------------------------------------------------------------
+
+    def read(self, blade_id: int, key: BlockKey, priority: int = 0) -> Event:
+        """Read one block through ``blade_id``; event value is the source
+        tier: ``"local"``, ``"remote"`` or ``"disk"``."""
+        done = Event(self.sim)
+        self.sim.process(self._read(blade_id, key, priority, done),
+                         name="cache.read")
+        return done
+
+    def _read(self, blade_id: int, key: BlockKey, priority: int, done: Event):
+        blade = self.blades[blade_id]
+        cache = self.caches[blade_id]
+        yield from blade.execute(blade.io_cpu_cost(self.block_size))
+        if cache.lookup(key) is not None:
+            self.metrics.counter("read.local_hit").incr()
+            yield self.sim.timeout(self._hit_time())
+            done.succeed("local")
+            return
+        actions = self.directory.acquire_shared(blade_id, key)
+        source = actions.fetch_from
+        if source is not None and source in self.blades \
+                and self.blades[source].is_up:
+            # Peer-cache transfer: far faster than a disk access.
+            self.metrics.counter("read.remote_hit").incr()
+            yield self.interconnect.transfer(self.block_size)
+            cache.insert(key, BlockState.SHARED, priority, self.sim.now)
+            done.succeed("remote")
+            return
+        self.metrics.counter("read.miss").incr()
+        try:
+            yield self.backing_read(key, self.block_size)
+        except Exception as exc:
+            self.metrics.counter("read.backing_errors").incr()
+            done.fail(exc)
+            return
+        cache.insert(key, BlockState.SHARED, priority, self.sim.now)
+        done.succeed("disk")
+
+    # -- write path ------------------------------------------------------------------
+
+    def write(self, blade_id: int, key: BlockKey,
+              replicas: int | None = None, priority: int = 0) -> Event:
+        """Write-back one block through ``blade_id`` with N-way replication.
+
+        The event fires when the data is *safe* (owner + N−1 replicas in
+        cache), not when it reaches disk — that's the destager's job.
+        """
+        done = Event(self.sim)
+        self.sim.process(self._write(blade_id, key, replicas, priority, done),
+                         name="cache.write")
+        return done
+
+    def _write(self, blade_id: int, key: BlockKey, replicas: int | None,
+               priority: int, done: Event):
+        n = self.replication if replicas is None else replicas
+        if n < 1:
+            done.fail(ValueError("replicas must be >= 1"))
+            return
+        blade = self.blades[blade_id]
+        cache = self.caches[blade_id]
+        yield from blade.execute(blade.io_cpu_cost(self.block_size))
+        actions = self.directory.acquire_exclusive(blade_id, key)
+        if actions.invalidate:
+            # One round of invalidation messages, in parallel.
+            self.metrics.counter("coherence.invalidations").incr(
+                len(actions.invalidate))
+            for victim in actions.invalidate:
+                if victim in self.caches:
+                    self.caches[victim].drop(key)
+            yield self.sim.timeout(self.interconnect.latency)
+        yield self.sim.timeout(self._hit_time())
+        cache.insert(key, BlockState.MODIFIED, priority, self.sim.now)
+        if n > 1:
+            try:
+                targets = self.pick_replica_targets(blade_id, n - 1)
+            except ReplicationError as exc:
+                done.fail(exc)
+                return
+            transfers = [self.interconnect.transfer(self.block_size)
+                         for _ in targets]
+            yield self.sim.all_of(transfers)
+            for target in targets:
+                self.caches[target].insert(key, BlockState.REPLICA,
+                                           priority, self.sim.now)
+            self.directory.register_replicas(key, set(targets))
+            self.metrics.counter("write.replicas_placed").incr(len(targets))
+        self._enqueue_dirty(key)
+        self.metrics.counter("write.absorbed").incr()
+        done.succeed("cached")
+
+    # -- destage ---------------------------------------------------------------------
+
+    def destage(self, key: BlockKey) -> Event:
+        """Push one dirty block to disk and release all pins."""
+        done = Event(self.sim)
+        self.sim.process(self._destage(key, done), name="cache.destage")
+        return done
+
+    def _destage(self, key: BlockKey, done: Event):
+        entry = self.directory.entry(key)
+        if entry is None or not entry.dirty:
+            done.succeed(False)
+            return
+        try:
+            yield self.backing_write(key, self.block_size)
+        except Exception:
+            # Destage target failed (disk rebuild pending): keep the block
+            # dirty and pinned; retry on a later pass.
+            self.metrics.counter("destage.errors").incr()
+            self._enqueue_dirty(key)
+            done.succeed(False)
+            return
+        released = self.directory.destaged(key)
+        for bid in released:
+            if bid in self.caches:
+                self.caches[bid].clean(key)
+        self.metrics.counter("destage.completed").incr()
+        done.succeed(True)
+
+    def _enqueue_dirty(self, key: BlockKey) -> None:
+        if key not in self._dirty_pending:
+            self._dirty_pending.add(key)
+            self._dirty_queue.put(key)
+
+    def _dequeue_dirty(self, key: BlockKey) -> None:
+        if key in self._dirty_pending:
+            self._dirty_pending.discard(key)
+            try:
+                self._dirty_queue.items.remove(key)
+            except ValueError:
+                pass  # a destager already took it
+
+    def start_destager(self, concurrency: int = 4) -> None:
+        """Run background destage workers for the rest of the simulation.
+
+        Workers block on the dirty queue, so they cost nothing while idle
+        and the simulation still terminates when client work is done.
+        """
+        if self._destager_running:
+            return
+        self._destager_running = True
+        for _ in range(concurrency):
+            self.sim.process(self._destage_loop(), name="cache.destager")
+
+    def _destage_loop(self):
+        while True:
+            key = yield self._dirty_queue.get()
+            self._dirty_pending.discard(key)
+            yield self.destage(key)
+
+    def drain_dirty(self) -> Event:
+        """Destage everything currently dirty (used by tests/shutdown)."""
+        done = Event(self.sim)
+        self.sim.process(self._drain(done), name="cache.drain")
+        return done
+
+    def _drain(self, done: Event):
+        while self._dirty_queue.items:
+            key = self._dirty_queue.items.pop(0)
+            self._dirty_pending.discard(key)
+            yield self.destage(key)
+        done.succeed()
+
+    # -- failure handling -----------------------------------------------------------------
+
+    def on_blade_fail(self, blade_id: int) -> tuple[int, int]:
+        """A blade died: its cache is gone.
+
+        Dirty blocks it owned survive iff a replica exists (the replica is
+        promoted to owner, §6.1 — N-way replication survives N−1 failures).
+        Returns ``(salvaged_count, lost_count)``.
+        """
+        if blade_id in self.caches:
+            self.caches[blade_id].drop_all()
+        salvaged, lost = self.directory.blade_failed(blade_id)
+        for key in salvaged:
+            entry = self.directory.entry(key)
+            new_owner = entry.owner if entry else None
+            if new_owner is not None and new_owner in self.caches:
+                promoted = self.caches[new_owner].entry(key)
+                if promoted is not None:
+                    promoted.state = BlockState.MODIFIED
+            self._enqueue_dirty(key)
+        for key in lost:
+            self._dequeue_dirty(key)
+        self.lost_dirty_blocks.extend(lost)
+        self.metrics.counter("failure.salvaged").incr(len(salvaged))
+        self.metrics.counter("failure.lost").incr(len(lost))
+        return len(salvaged), len(lost)

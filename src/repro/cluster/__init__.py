@@ -1,0 +1,20 @@
+"""Controller cluster: membership, load balancing, upgrades, rebuild (§2, §6)."""
+
+from .backup import BackupEngine, BackupJob
+from .balancer import LoadBalancer, NoBladesAvailableError
+from .cluster import ControllerCluster
+from .membership import ClusterMembership
+from .rebuild import ClusterRebuildCoordinator
+from .upgrade import RollingUpgrade, UpgradeAbortedError
+
+__all__ = [
+    "BackupEngine",
+    "BackupJob",
+    "ClusterMembership",
+    "ClusterRebuildCoordinator",
+    "ControllerCluster",
+    "LoadBalancer",
+    "NoBladesAvailableError",
+    "RollingUpgrade",
+    "UpgradeAbortedError",
+]

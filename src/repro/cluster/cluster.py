@@ -1,0 +1,101 @@
+"""The controller cluster: blades + membership + balancing + availability.
+
+This is the paper's scaling unit assembled: an expandable set of
+cooperating controller blades in front of the disk farm, with
+join-shortest-queue dispatch, failure detection wired into the coherent
+cache, and an availability meter for the E12 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..hardware.blade import ControllerBlade
+from ..sim.stats import TimeWeighted
+from ..sim.units import gib
+from .balancer import LoadBalancer
+from .membership import ClusterMembership
+from .rebuild import ClusterRebuildCoordinator
+from .upgrade import RollingUpgrade
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class ControllerCluster:
+    """Lifecycle owner for a blade cluster."""
+
+    def __init__(self, sim: "Simulator", blade_count: int = 4,
+                 cache_bytes_per_blade: int = gib(4),
+                 fc_ports_per_blade: int = 2, fc_rate_gb: float = 2.0,
+                 **blade_kwargs) -> None:
+        if blade_count < 1:
+            raise ValueError(f"blade_count must be >= 1, got {blade_count}")
+        self.sim = sim
+        self._next_id = 0
+        self._blade_kwargs = dict(cache_bytes=cache_bytes_per_blade,
+                                  fc_port_count=fc_ports_per_blade,
+                                  fc_rate_gb=fc_rate_gb, **blade_kwargs)
+        blades = [self._make_blade() for _ in range(blade_count)]
+        self.membership = ClusterMembership(sim, blades)
+        self.balancer = LoadBalancer(self.membership)
+        self.rebuild_coordinator = ClusterRebuildCoordinator(sim,
+                                                             self.membership)
+        self.availability = TimeWeighted(sim, initial=1.0)
+        self.membership.on_change(self._track_availability)
+
+    def _make_blade(self) -> ControllerBlade:
+        blade = ControllerBlade(self.sim, self._next_id, **self._blade_kwargs)
+        self._next_id += 1
+        return blade
+
+    # -- shape ---------------------------------------------------------------------
+
+    @property
+    def blades(self) -> dict[int, ControllerBlade]:
+        return self.membership.blades
+
+    def blade(self, blade_id: int) -> ControllerBlade:
+        """The blade object with this id."""
+        return self.membership.blades[blade_id]
+
+    def scale_out(self, count: int = 1) -> list[ControllerBlade]:
+        """Add blades while running ('analogous to adding disks', §6.3)."""
+        added = []
+        for _ in range(count):
+            blade = self._make_blade()
+            self.membership.add_blade(blade)
+            self.balancer.in_flight.setdefault(blade.blade_id, 0)
+            self.balancer.dispatched.setdefault(blade.blade_id, 0)
+            added.append(blade)
+        return added
+
+    def aggregate_fc_bandwidth(self) -> float:
+        """Total disk-side bandwidth of live blades (the §2.1 scaling axis)."""
+        return sum(b.fc_bandwidth for b in self.membership.live())
+
+    def total_cache_bytes(self) -> int:
+        """Aggregate cache memory across live blades."""
+        return sum(b.cache_bytes for b in self.membership.live())
+
+    # -- availability (E12) ------------------------------------------------------------
+
+    def _track_availability(self, blade: ControllerBlade, event: str) -> None:
+        self.availability.record(1.0 if self.membership.live() else 0.0)
+
+    def service_availability(self) -> float:
+        """Fraction of time at least one blade could serve I/O."""
+        return self.availability.mean()
+
+    # -- convenience ---------------------------------------------------------------------
+
+    def rolling_upgrade(self, duration_per_blade: float = 30.0,
+                        min_live: int = 1) -> RollingUpgrade:
+        """Build a RollingUpgrade coordinator for this cluster."""
+        return RollingUpgrade(self.sim, self.membership, self.balancer,
+                              upgrade_duration=duration_per_blade,
+                              min_live=min_live)
+
+    def on_blade_event(self, handler: Callable[[ControllerBlade, str], None]) -> None:
+        """Subscribe to membership transitions (failed/joined/draining)."""
+        self.membership.on_change(handler)

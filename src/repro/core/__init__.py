@@ -1,0 +1,17 @@
+"""The assembled NetStorage system: public entry point of the library."""
+
+from .admin import AdminAction, AutoPolicyEngine, idle_demotion_rule, scratch_cleanup_rule
+from .config import SystemConfig
+from .report import format_table, print_experiment
+from .system import NetStorageSystem
+
+__all__ = [
+    "AdminAction",
+    "AutoPolicyEngine",
+    "NetStorageSystem",
+    "SystemConfig",
+    "format_table",
+    "idle_demotion_rule",
+    "print_experiment",
+    "scratch_cleanup_rule",
+]

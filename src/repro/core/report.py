@@ -1,0 +1,61 @@
+"""Report formatting: the tables and series benches print.
+
+Plain-text tables, deliberately similar to what a paper's camera-ready
+tables would look like, so EXPERIMENTS.md entries can paste bench output
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if _is_num(cell)
+                               else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def _is_num(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def print_experiment(exp_id: str, claim: str, table: str) -> None:
+    """Standard bench output block, greppable by experiment id."""
+    banner = f"=== {exp_id}: {claim} ==="
+    print()
+    print(banner)
+    print(table)
+    print("=" * len(banner))

@@ -1,0 +1,284 @@
+"""NetStorageSystem: the assembled architecture — the paper's contribution.
+
+One object wires every subsystem into the data path the paper describes:
+
+    host I/O → load balancer → controller blade → coherent pooled cache
+             → (miss/destage) declustered disk farm
+
+with the integrated parallel file system providing per-file policies, the
+security layer gating access, membership feeding failures into the cache
+and rebuild machinery, and optional geo attachment for multi-site
+deployments (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cache.pool import CacheCluster
+from ..cluster.cluster import ControllerCluster
+from ..fs.pfs import ParallelFileSystem
+from ..fs.policies import DEFAULT_POLICY, FilePolicy
+from ..hardware.blade import ControllerBlade
+from ..hardware.disk import make_disk_farm
+from ..raid.decluster import DeclusteredPool, DeclusteredRebuildJob
+from ..security.auth import Authenticator
+from ..security.lun_masking import LunMaskingTable
+from ..security.zones import SecureInstallation, hardened_installation, naive_installation
+from ..sim.events import Event
+from ..sim.rng import RngStreams, stable_hash
+from ..virt.allocator import Allocator, StoragePool
+from .config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class NetStorageSystem:
+    """A single-site NetStorage deployment with a POSIX-ish client API."""
+
+    def __init__(self, sim: "Simulator", config: SystemConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config or SystemConfig()
+        cfg = self.config
+        self.rng = RngStreams(cfg.seed)
+
+        # Hardware + cluster.
+        self.cluster = ControllerCluster(
+            sim, blade_count=cfg.blade_count,
+            cache_bytes_per_blade=cfg.cache_bytes_per_blade,
+            fc_ports_per_blade=cfg.fc_ports_per_blade,
+            fc_rate_gb=cfg.fc_rate_gb)
+        self.disks = make_disk_farm(sim, cfg.disk_count, cfg.disk_capacity,
+                                    name=f"{cfg.name}.farm")
+        self.pool = DeclusteredPool(sim, self.disks,
+                                    data_per_stripe=cfg.data_per_stripe,
+                                    chunk_size=cfg.block_size,
+                                    name=f"{cfg.name}.pool")
+
+        # Coherent pooled cache in front of the farm.
+        blades = list(self.cluster.blades.values())
+        self.cache = CacheCluster(
+            sim, blades, self._backing_read, self._backing_write,
+            block_size=cfg.block_size, replication=cfg.replication)
+
+        # Integrated PFS: functional space accounting shares the pool size.
+        self.allocator = Allocator([StoragePool(
+            f"{cfg.name}.space", self.pool.capacity, cfg.block_size)])
+        self.pfs = ParallelFileSystem(
+            self.allocator, [b.blade_id for b in blades],
+            stripe_unit=cfg.block_size, limits=cfg.policy_limits,
+            name=cfg.name)
+
+        # Security plane.
+        self.auth = Authenticator()
+        self.masking = LunMaskingTable()
+        self.installation: SecureInstallation = (
+            hardened_installation() if cfg.security_hardened
+            else naive_installation())
+
+        # Cache contents die the instant a blade dies (membership's
+        # detection delay governs *routing*, not physics), so observe the
+        # blades directly rather than waiting for heartbeat timeout.
+        for blade in blades:
+            blade.observe(self._on_blade_state)
+        self._started = False
+        self._raw_recent: list = []
+        self._raw_cursor = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start background services (write-back destager)."""
+        if not self._started:
+            self.cache.start_destager()
+            self._started = True
+
+    # -- backing store hooks (cache miss / destage) -------------------------------------
+
+    def _key_to_offset(self, key) -> int:
+        blocks = self.pool.capacity // self.config.block_size
+        return (stable_hash(key) % blocks) * self.config.block_size
+
+    def _backing_read(self, key, nbytes: int) -> Event:
+        # Miss fills are foreground work: a client is waiting on them.
+        return self.pool.read(self._key_to_offset(key), nbytes, priority=0.0)
+
+    def _backing_write(self, key, nbytes: int) -> Event:
+        # Only the write-back destager calls this: background priority so
+        # flushes never gate client reads at the disks (§2.4).
+        return self.pool.write(self._key_to_offset(key), nbytes,
+                               priority=10.0)
+
+    # -- membership plumbing ----------------------------------------------------------------
+
+    def _on_blade_state(self, blade: ControllerBlade) -> None:
+        from ..hardware.blade import BladeState
+        if blade.state is BladeState.FAILED:
+            self.cache.on_blade_fail(blade.blade_id)
+
+    # -- client file API -------------------------------------------------------------------
+
+    def create(self, path: str, policy: FilePolicy = DEFAULT_POLICY,
+               owner: str = ""):
+        """Create a file (parents auto-created); policy clamped by limits."""
+        parent = path.rsplit("/", 1)[0]
+        if parent:
+            self.pfs.namespace.mkdirs(parent, owner=owner)
+        return self.pfs.create(path, policy, owner, now=self.sim.now)
+
+    def write(self, path: str, offset: int, nbytes: int) -> Event:
+        """A client write: per-stripe-unit fan-out through the cache.
+
+        Ack semantics follow §6.1: the event fires when every block is
+        replication-safe in cache, not when it reaches disk.
+        """
+        done = Event(self.sim)
+        self.sim.process(self._client_io(path, offset, nbytes, "write", done),
+                         name="client.write")
+        return done
+
+    def read(self, path: str, offset: int, nbytes: int) -> Event:
+        """A client read; event fires when every stripe unit is served."""
+        done = Event(self.sim)
+        self.sim.process(self._client_io(path, offset, nbytes, "read", done),
+                         name="client.read")
+        return done
+
+    def _client_io(self, path: str, offset: int, nbytes: int, op: str,
+                   done: Event):
+        try:
+            inode = self.pfs.open(path)
+        except Exception as exc:
+            done.fail(exc)
+            return
+        policy = inode.policy
+        if op == "write":
+            self.pfs.write(path, offset, nbytes, now=self.sim.now)
+        blocks = self.pfs.blocks_for_range(offset, nbytes)
+        pending: list[Event] = []
+        for block in blocks:
+            key = self.pfs.block_key(inode, block)
+            blade_id = self.pfs.blade_for_block(inode, block)
+            if not self.cluster.blades[blade_id].is_up:
+                # Striping says blade X, but the cluster reroutes around
+                # failures: any controller can reach any block (§2.3).
+                blade_id = self.cluster.balancer.pick()
+            self.cluster.balancer.start(blade_id)
+            if op == "write":
+                ev = self.cache.write(blade_id, key,
+                                      replicas=policy.write_fault_tolerance,
+                                      priority=policy.cache_priority)
+            else:
+                ev = self.cache.read(blade_id, key,
+                                     priority=policy.cache_priority)
+            ev.add_callback(
+                lambda _e, b=blade_id: self.cluster.balancer.finish(b))
+            pending.append(ev)
+        if not pending:
+            done.succeed(0)
+            return
+        try:
+            yield self.sim.all_of(pending)
+        except Exception as exc:
+            done.fail(exc)
+            return
+        done.succeed(nbytes)
+
+    # -- anonymous bulk I/O (geo staging / replication ingest) ---------------------------------
+
+    def raw_write(self, nbytes: int) -> Event:
+        """Absorb ``nbytes`` of incoming bulk data through the full stack.
+
+        Used by the metadata center when replicated or migrated data lands
+        at this site: fresh cache keys, so the cost is the honest
+        write-absorb + destage path, not a cache-hit artifact.
+        """
+        return self._raw_io(nbytes, "write")
+
+    def raw_read(self, nbytes: int) -> Event:
+        """Produce ``nbytes`` of bulk data (cold read) through the stack."""
+        return self._raw_io(nbytes, "read")
+
+    def _raw_io(self, nbytes: int, op: str) -> Event:
+        done = Event(self.sim)
+        self.sim.process(self._raw_run(nbytes, op, done),
+                         name=f"system.raw_{op}")
+        return done
+
+    _raw_seq = 0
+
+    def _raw_run(self, nbytes: int, op: str, done: Event):
+        block = self.config.block_size
+        pending: list[Event] = []
+        remaining = nbytes
+        while remaining > 0:
+            take = min(block, remaining)
+            remaining -= take
+            if op == "read" and self._raw_recent:
+                # Bulk reads serve recently staged data: warm where the
+                # cache still holds it, disk otherwise.
+                key = self._raw_recent[self._raw_cursor
+                                       % len(self._raw_recent)]
+                self._raw_cursor += 1
+            else:
+                NetStorageSystem._raw_seq += 1
+                key = ("raw", id(self), NetStorageSystem._raw_seq)
+                if op == "write":
+                    self._raw_recent.append(key)
+                    if len(self._raw_recent) > 4096:
+                        self._raw_recent.pop(0)
+            try:
+                blade_id = self.cluster.balancer.pick()
+            except Exception as exc:
+                done.fail(exc)
+                return
+            self.cluster.balancer.start(blade_id)
+            ev = (self.cache.write(blade_id, key) if op == "write"
+                  else self.cache.read(blade_id, key))
+            ev.add_callback(
+                lambda _e, b=blade_id: self.cluster.balancer.finish(b))
+            pending.append(ev)
+        if not pending:
+            done.succeed(0)
+            return
+        try:
+            yield self.sim.all_of(pending)
+        except Exception as exc:
+            done.fail(exc)
+            return
+        done.succeed(nbytes)
+
+    # -- operations ---------------------------------------------------------------------------
+
+    def scale_out(self, count: int = 1) -> list[ControllerBlade]:
+        """Add blades while serving (§6.3): they join the cluster, the
+        cache pool, and the PFS striping map, and start taking work."""
+        from ..cache.block_cache import BlockCache
+        added = self.cluster.scale_out(count)
+        for blade in added:
+            blade.observe(self._on_blade_state)
+            self.cache.blades[blade.blade_id] = blade
+            self.cache.caches[blade.blade_id] = BlockCache(
+                max(1, blade.cache_bytes // self.config.block_size),
+                name=f"{blade.name}.cache")
+            self.pfs.blade_ids.append(blade.blade_id)
+        return added
+
+    def fail_disk_and_rebuild(self, disk_index: int) -> DeclusteredRebuildJob:
+        """Kill a disk and start a cluster-distributed rebuild."""
+        self.pool.mark_failed(disk_index)
+        job = DeclusteredRebuildJob(self.pool, disk_index)
+        self.cluster.rebuild_coordinator.start(job)
+        return job
+
+    def report(self) -> dict[str, float]:
+        """One flat metrics snapshot across subsystems."""
+        out = dict(self.cache.metrics.snapshot())
+        out["cluster.availability"] = self.cluster.service_availability()
+        out["cluster.live_blades"] = len(self.cluster.membership.live())
+        out["balancer.imbalance"] = self.cluster.balancer.imbalance()
+        out["pfs.mapped_bytes"] = float(self.pfs.total_mapped_bytes())
+        out["cache.lost_dirty_blocks"] = float(
+            len(self.cache.lost_dirty_blocks))
+        return out

@@ -1,0 +1,60 @@
+"""Inodes: file system objects with extended policy metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+
+from ..virt.dmsd import DemandMappedDevice
+from .policies import DEFAULT_POLICY, FilePolicy
+
+#: DMSDs backing files are nominally enormous; data maps on demand.
+FILE_ADDRESS_SPACE = 1 << 50  # 1 PiB of sparse address space per file
+
+
+class InodeType(Enum):
+    """Namespace object kind: regular file or directory."""
+    FILE = "file"
+    DIRECTORY = "directory"
+
+
+_inode_counter = count(1)
+
+
+@dataclass
+class Inode:
+    """One namespace object.
+
+    Regular files carry a sparse demand-mapped backing device and a
+    per-file :class:`~repro.fs.policies.FilePolicy`; directories carry
+    children.  ``size`` is the logical EOF, which can exceed mapped bytes
+    for sparse files.
+    """
+
+    itype: InodeType
+    name: str
+    policy: FilePolicy = DEFAULT_POLICY
+    ino: int = field(default_factory=lambda: next(_inode_counter))
+    size: int = 0
+    created_at: float = 0.0
+    modified_at: float = 0.0
+    backing: DemandMappedDevice | None = None
+    children: dict[str, "Inode"] = field(default_factory=dict)
+    owner: str = ""
+
+    @property
+    def is_dir(self) -> bool:
+        return self.itype is InodeType.DIRECTORY
+
+    @property
+    def is_file(self) -> bool:
+        return self.itype is InodeType.FILE
+
+    def mapped_bytes(self) -> int:
+        """Physical bytes actually consumed by this file."""
+        return self.backing.mapped_bytes if self.backing else 0
+
+    def set_policy(self, policy: FilePolicy) -> None:
+        """Policies are dynamic: 'easily changed at any time' (§7.2)."""
+        self.policy = policy

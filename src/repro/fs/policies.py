@@ -1,0 +1,102 @@
+"""Extended per-file policy metadata (§4).
+
+The paper's file system lets behaviour be "dynamically set on a file by
+file basis, rather than on a volume-by-volume basis": cache retention
+priority, cross-site replication (and whether it is synchronous),
+RAID-type override, and the controller-level fault tolerance (N-way cache
+replication count) for write-back operations.
+
+Administrators bound what users may request (§6.1: "subject to
+limitations set by administrators"): :class:`PolicyLimits` clamps or
+rejects out-of-range requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from ..raid.layout import RaidLevel
+
+
+class ReplicationMode(Enum):
+    """Cross-site replication behaviour of a file (Section 6.2)."""
+    NONE = "none"
+    ASYNC = "async"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class FilePolicy:
+    """Per-file behaviour knobs; all have safe defaults."""
+
+    cache_priority: int = 0              # 0 = default retention, 9 = pin hard
+    replication_mode: ReplicationMode = ReplicationMode.NONE
+    replication_sites: int = 0           # how many remote sites get copies
+    preferred_sites: tuple[str, ...] = ()  # explicit site names, if any
+    min_distance_km: float = 0.0         # DR: replicas at least this far away
+    raid_override: RaidLevel | None = None
+    write_fault_tolerance: int = 2       # N-way cache replication for writes
+    prefetch: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cache_priority <= 9:
+            raise ValueError(
+                f"cache_priority must be 0..9, got {self.cache_priority}")
+        if self.replication_sites < 0:
+            raise ValueError("replication_sites must be >= 0")
+        if self.write_fault_tolerance < 1:
+            raise ValueError("write_fault_tolerance must be >= 1")
+        if self.min_distance_km < 0:
+            raise ValueError("min_distance_km must be >= 0")
+        if (self.replication_mode is ReplicationMode.NONE
+                and self.replication_sites > 0):
+            raise ValueError(
+                "replication_sites > 0 requires a replication mode")
+
+
+DEFAULT_POLICY = FilePolicy()
+
+#: Paper-motivated presets, used by examples and benches.
+SCRATCH = FilePolicy(cache_priority=0, write_fault_tolerance=1,
+                     raid_override=RaidLevel.RAID0)
+PROJECT_DATA = FilePolicy(cache_priority=3,
+                          replication_mode=ReplicationMode.ASYNC,
+                          replication_sites=1)
+CRITICAL = FilePolicy(cache_priority=8,
+                      replication_mode=ReplicationMode.SYNC,
+                      replication_sites=2, min_distance_km=100.0,
+                      write_fault_tolerance=3,
+                      raid_override=RaidLevel.RAID10)
+
+
+@dataclass(frozen=True)
+class PolicyLimits:
+    """Administrator ceilings on what users may request."""
+
+    max_cache_priority: int = 9
+    max_replication_sites: int = 4
+    max_write_fault_tolerance: int = 4
+    allow_sync_replication: bool = True
+    allowed_raid_levels: frozenset[RaidLevel] = field(
+        default_factory=lambda: frozenset(RaidLevel))
+
+    def clamp(self, requested: FilePolicy) -> FilePolicy:
+        """The effective policy: requests are bounded by admin limits."""
+        mode = requested.replication_mode
+        if mode is ReplicationMode.SYNC and not self.allow_sync_replication:
+            mode = ReplicationMode.ASYNC
+        raid = requested.raid_override
+        if raid is not None and raid not in self.allowed_raid_levels:
+            raid = None
+        return replace(
+            requested,
+            cache_priority=min(requested.cache_priority,
+                               self.max_cache_priority),
+            replication_sites=min(requested.replication_sites,
+                                  self.max_replication_sites),
+            write_fault_tolerance=min(requested.write_fault_tolerance,
+                                      self.max_write_fault_tolerance),
+            replication_mode=mode,
+            raid_override=raid,
+        )

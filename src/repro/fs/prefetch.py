@@ -1,0 +1,83 @@
+"""Sequential prefetch driven by file-system topology knowledge (§4, §7.1).
+
+"Integration with the lower level system could provide file system
+topology knowledge enabling storage prefetch operations."  The detector
+watches per-handle block access patterns; on a sequential run it asks the
+I/O layer to stage the next ``depth`` blocks, ramping the window up (like
+NFS read-ahead) while the pattern holds and collapsing it on a seek.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+PrefetchFn = Callable[[int], None]  # block index -> issue background fetch
+
+
+class SequentialPrefetcher:
+    """Per-stream sequential detector with a ramping window."""
+
+    def __init__(self, issue: PrefetchFn, initial_depth: int = 2,
+                 max_depth: int = 32) -> None:
+        if initial_depth < 1 or max_depth < initial_depth:
+            raise ValueError("need 1 <= initial_depth <= max_depth")
+        self.issue = issue
+        self.initial_depth = initial_depth
+        self.max_depth = max_depth
+        self._last_block: int | None = None
+        self._depth = initial_depth
+        self._staged: set[int] = set()
+        self.prefetches_issued = 0
+
+    def on_access(self, block: int) -> list[int]:
+        """Notify an access; returns the block indices prefetched."""
+        issued: list[int] = []
+        if self._last_block is not None and block == self._last_block + 1:
+            self._depth = min(self._depth * 2, self.max_depth)
+            issued = self._stage_from(block + 1)
+        elif self._last_block is None or block != self._last_block:
+            if self._last_block is not None and block != self._last_block + 1:
+                # Random seek: collapse the window.
+                self._depth = self.initial_depth
+                self._staged.clear()
+            issued = self._stage_from(block + 1) if self._last_block is None \
+                else []
+        self._last_block = block
+        return issued
+
+    def _stage_from(self, start: int) -> list[int]:
+        issued = []
+        for b in range(start, start + self._depth):
+            if b not in self._staged:
+                self._staged.add(b)
+                self.issue(b)
+                self.prefetches_issued += 1
+                issued.append(b)
+        return issued
+
+    def was_prefetched(self, block: int) -> bool:
+        """True if the block has been staged by this stream's window."""
+        return block in self._staged
+
+
+class PrefetchRegistry:
+    """One prefetcher per open stream (file handle or remote-site fetch)."""
+
+    def __init__(self, issue_factory: Callable[[Hashable], PrefetchFn],
+                 **kwargs) -> None:
+        self._issue_factory = issue_factory
+        self._kwargs = kwargs
+        self._streams: dict[Hashable, SequentialPrefetcher] = {}
+
+    def stream(self, handle: Hashable) -> SequentialPrefetcher:
+        """The per-handle prefetcher, created on first use."""
+        pf = self._streams.get(handle)
+        if pf is None:
+            pf = SequentialPrefetcher(self._issue_factory(handle),
+                                      **self._kwargs)
+            self._streams[handle] = pf
+        return pf
+
+    def close(self, handle: Hashable) -> None:
+        """Forget a stream's prefetch state (file closed)."""
+        self._streams.pop(handle, None)

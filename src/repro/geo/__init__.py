@@ -1,0 +1,26 @@
+"""Geographically distributed storage: sites, WAN, replication, DR (§6.2, §7)."""
+
+from .dr import DisasterRecoveryCoordinator, RecoveryReport
+from .metacenter import MetadataCenter
+from .migration import DistributedAccessManager, FileResidency
+from .replication import GeoFile, GeoReplicator
+from .site import Site, SiteFailedError
+from .snapship import SnapshotShippingReplicator, snapshot_delta_pages
+from .wan import NoRouteError, WanLink, WanNetwork
+
+__all__ = [
+    "DisasterRecoveryCoordinator",
+    "DistributedAccessManager",
+    "FileResidency",
+    "GeoFile",
+    "GeoReplicator",
+    "MetadataCenter",
+    "NoRouteError",
+    "RecoveryReport",
+    "Site",
+    "SiteFailedError",
+    "SnapshotShippingReplicator",
+    "WanLink",
+    "WanNetwork",
+    "snapshot_delta_pages",
+]

@@ -1,0 +1,186 @@
+"""The metadata center: multiple sites managed as one system (Figure 3, §7.3).
+
+"Our proposed architecture could be deployed in multiple geographically
+separated locations.  The resulting 'metadata center' would provide users
+with a single data image" — and "from an IT perspective, the system would
+be managed as one large system."
+
+:class:`MetadataCenter` composes a full :class:`~repro.core.NetStorageSystem`
+per site (blade cluster, coherent cache, declustered farm, PFS) under the
+geo layers: per-file replication policy, access-driven migration, and
+disaster recovery.  Site-local I/O runs through each site's complete data
+path (the Site objects delegate their storage backend to the local
+system's raw I/O), so WAN effects stack on honest local costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.config import SystemConfig
+from ..core.system import NetStorageSystem
+from ..fs.metadata import Inode
+from ..fs.policies import DEFAULT_POLICY, FilePolicy
+from ..sim.events import Event
+from ..sim.units import gbps
+from .dr import DisasterRecoveryCoordinator, RecoveryReport
+from .migration import DistributedAccessManager
+from .replication import GeoReplicator
+from .site import Site
+from .wan import WanNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class MetadataCenter:
+    """One data image spanning several NetStorage deployments."""
+
+    def __init__(self, sim: "Simulator",
+                 site_specs: dict[str, tuple[float, float]],
+                 config: SystemConfig | None = None,
+                 block_size_wan: int = 1024 * 1024) -> None:
+        if len(site_specs) < 2:
+            raise ValueError("a metadata center needs at least two sites")
+        self.sim = sim
+        self.network = WanNetwork(sim)
+        self.systems: dict[str, NetStorageSystem] = {}
+        base = config or SystemConfig()
+        for name, position in site_specs.items():
+            from dataclasses import replace
+            system = NetStorageSystem(sim, replace(base, name=name))
+            system.start()
+            site = Site(sim, name, position,
+                        backend_read=system.raw_read,
+                        backend_write=system.raw_write)
+            self.network.add_site(site)
+            self.systems[name] = system
+        self.replicator = GeoReplicator(sim, self.network)
+        self.access = DistributedAccessManager(sim, self.network,
+                                               block_size=block_size_wan)
+        self.dr = DisasterRecoveryCoordinator(sim, self.network,
+                                              self.replicator)
+        self._homes: dict[str, str] = {}
+
+    # -- topology -------------------------------------------------------------------
+
+    def connect(self, a: str, b: str, bandwidth: float = gbps(2.5),
+                encrypted: bool = True, **kwargs) -> None:
+        """Join two sites; inter-site conduits are encrypted by default
+        (§5.1), using the hardware engines so the rate stays at wire speed."""
+        self.network.connect(self.network.sites[a], self.network.sites[b],
+                             bandwidth=bandwidth, encrypted=encrypted,
+                             **kwargs)
+
+    def site(self, name: str) -> Site:
+        """The Site object for a name."""
+        return self.network.sites[name]
+
+    def system(self, name: str) -> NetStorageSystem:
+        """The per-site NetStorageSystem for a name."""
+        return self.systems[name]
+
+    # -- the single-image file API ---------------------------------------------------
+
+    def create(self, path: str, home: str,
+               policy: FilePolicy = DEFAULT_POLICY, owner: str = "") -> Inode:
+        """Create a file homed at ``home``; policy governs geo behaviour.
+
+        Namespace metadata is global — every site's catalog learns the
+        file immediately (that is what makes the deployment "a single
+        data image"); only the data blocks live at the home/replica sites.
+        """
+        inode: Inode | None = None
+        for name, system in self.systems.items():
+            created = system.create(path, policy, owner)
+            if name == home:
+                inode = created
+        assert inode is not None
+        self.replicator.register(path, inode.policy,
+                                 self.network.sites[home])
+        self._homes[path] = home
+        return inode
+
+    def write(self, path: str, offset: int, nbytes: int,
+              at: str | None = None) -> Event:
+        """Write from any site; data lands at the file's (current) home.
+
+        The ack follows the file's replication policy: local-site cache
+        safety for NONE/ASYNC, every replica site for SYNC.
+        """
+        done = Event(self.sim)
+        self.sim.process(self._write(path, offset, nbytes, at, done),
+                         name="meta.write")
+        return done
+
+    def _write(self, path: str, offset: int, nbytes: int,
+               at: str | None, done: Event):
+        home = self.replicator.files[path].home
+        writer = at or home
+        try:
+            if writer != home:
+                # Forward the bytes to the home site first.
+                yield self.network.transfer(self.network.sites[writer],
+                                            self.network.sites[home], nbytes)
+            # Functional metadata lives in the home PFS; geo replication
+            # carries the timing (local store + WAN per policy).
+            self.systems[home].pfs.write(path, offset, nbytes,
+                                         now=self.sim.now)
+            yield self.replicator.write(path, nbytes)
+        except Exception as exc:
+            done.fail(exc)
+            return
+        done.succeed(nbytes)
+
+    def read(self, path: str, offset: int, nbytes: int, at: str) -> Event:
+        """Read at any site: local copies serve locally, else the block
+        migrates in (with prefetch / auto-replication, §7.1)."""
+        done = Event(self.sim)
+        self.sim.process(self._read(path, offset, nbytes, at, done),
+                         name="meta.read")
+        return done
+
+    def _read(self, path: str, offset: int, nbytes: int, at: str,
+              done: Event):
+        gf = self.replicator.files.get(path)
+        if gf is None:
+            done.fail(KeyError(f"unknown file {path!r}"))
+            return
+        if path not in self.access.files:
+            size = max(self.systems[gf.home].pfs.open(path).size, nbytes, 1)
+            self.access.register(path, size, self.network.sites[gf.home])
+            # Replica sites already hold full copies.
+            fr = self.access.files[path]
+            for copy_site in gf.copies:
+                fr.resident[copy_site] = set(range(fr.block_count))
+        fr = self.access.files[path]
+        block_size = self.access.block_size
+        first = offset // block_size
+        last = (offset + max(nbytes, 1) - 1) // block_size
+        try:
+            for block in range(first, min(last + 1, fr.block_count)):
+                yield self.access.read(path, block, self.network.sites[at])
+        except Exception as exc:
+            done.fail(exc)
+            return
+        done.succeed(nbytes)
+
+    # -- operations ---------------------------------------------------------------------
+
+    def fail_site(self, name: str) -> Event:
+        """Complete site disaster; event value is the RecoveryReport."""
+        return self.dr.fail_site(self.network.sites[name])
+
+    def report(self) -> dict[str, float]:
+        """One management view over the whole distributed system (§7.3)."""
+        out: dict[str, float] = {}
+        for name, system in self.systems.items():
+            for key, value in system.report().items():
+                out[f"{name}.{key}"] = value
+        out["files"] = float(len(self.replicator.files))
+        out["wan.replication_bytes"] = self.replicator.metrics.rate(
+            "wan.replication_bytes").total
+        return out
+
+
+__all__ = ["MetadataCenter", "RecoveryReport"]

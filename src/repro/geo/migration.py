@@ -1,0 +1,185 @@
+"""Distributed data access: fetch-on-first-use, prefetch, auto-replication (§7.1).
+
+"The first time the data was referenced, a copy of the data would be moved
+to the referencing site.  As a result, there would be a network-induced
+delay while the initial block of a file is referenced, but other blocks
+within the file would be prefetched, allowing local access performance.
+The system would recognize files that are commonly accessed at multiple
+locations and automatically replicate copies of the underlying data
+blocks to ensure fast access."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from ..sim.events import Event
+from ..sim.stats import MetricSet
+from .site import Site
+from .wan import WanNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class FileResidency:
+    """Which sites hold which blocks of one file."""
+
+    __slots__ = ("path", "block_size", "block_count", "resident", "access_counts")
+
+    def __init__(self, path: str, size: int, block_size: int,
+                 home: str) -> None:
+        self.path = path
+        self.block_size = block_size
+        self.block_count = max(1, -(-size // block_size))
+        #: site -> set of resident block indices
+        self.resident: dict[str, set[int]] = {
+            home: set(range(self.block_count))}
+        self.access_counts: dict[str, int] = defaultdict(int)
+
+    def holders_of(self, block: int) -> list[str]:
+        """Site names holding this block, sorted for determinism."""
+        return sorted(name for name, blocks in self.resident.items()
+                      if block in blocks)
+
+    def fully_resident_at(self, site: str) -> bool:
+        """True when the site holds every block of the file."""
+        return len(self.resident.get(site, ())) == self.block_count
+
+
+class DistributedAccessManager:
+    """Serves block reads anywhere, migrating data toward its users."""
+
+    def __init__(self, sim: "Simulator", network: WanNetwork,
+                 block_size: int = 1024 * 1024,
+                 auto_replicate_threshold: int = 3,
+                 prefetch_depth: int = 8) -> None:
+        if auto_replicate_threshold < 1:
+            raise ValueError("auto_replicate_threshold must be >= 1")
+        self.sim = sim
+        self.network = network
+        self.block_size = block_size
+        self.auto_replicate_threshold = auto_replicate_threshold
+        self.prefetch_depth = prefetch_depth
+        self.files: dict[str, FileResidency] = {}
+        self.metrics = MetricSet(sim)
+
+    def register(self, path: str, size: int, home: Site) -> FileResidency:
+        """Track a file's residency, initially complete at its home site."""
+        if path in self.files:
+            raise ValueError(f"file {path!r} already registered")
+        fr = FileResidency(path, size, self.block_size, home.name)
+        self.files[path] = fr
+        return fr
+
+    # -- the read path ------------------------------------------------------------------
+
+    def read(self, path: str, block: int, at: Site) -> Event:
+        """Read one block at a site; event value is "local" or "remote"."""
+        done = Event(self.sim)
+        self.sim.process(self._read(path, block, at, done), name="geo.read")
+        return done
+
+    def _read(self, path: str, block: int, at: Site, done: Event):
+        fr = self.files[path]
+        if not 0 <= block < fr.block_count:
+            done.fail(ValueError(f"block {block} outside {path!r}"))
+            return
+        fr.access_counts[at.name] += 1
+        local = fr.resident.setdefault(at.name, set())
+        if block in local:
+            yield at.store_read(self.block_size)
+            self.metrics.counter("read.local").incr()
+            done.succeed("local")
+            return
+        # Remote first touch: fetch the block from the nearest holder...
+        source = self._nearest_holder(fr, block, at)
+        yield self.network.transfer(source, at, self.block_size)
+        yield at.store_write(self.block_size)
+        local.add(block)
+        self.metrics.counter("read.remote").incr()
+        # ...and prefetch the following blocks in the background (§7.1).
+        self._background_prefetch(fr, block + 1, source, at)
+        # Hot at multiple sites? Auto-replicate the whole file here.
+        if fr.access_counts[at.name] >= self.auto_replicate_threshold \
+                and not fr.fully_resident_at(at.name):
+            self._background_replicate(fr, source, at)
+        done.succeed("remote")
+
+    def _nearest_holder(self, fr: FileResidency, block: int, at: Site) -> Site:
+        holders = [self.network.sites[name]
+                   for name in fr.holders_of(block)
+                   if not self.network.sites[name].failed]
+        if not holders:
+            raise LookupError(f"no surviving copy of {fr.path!r}[{block}]")
+        holders.sort(key=lambda s: (at.distance_to(s), s.name))
+        return holders[0]
+
+    # -- background movement ----------------------------------------------------------------
+
+    def _background_prefetch(self, fr: FileResidency, start: int,
+                             source: Site, at: Site) -> None:
+        blocks = [b for b in range(start, min(start + self.prefetch_depth,
+                                              fr.block_count))
+                  if b not in fr.resident[at.name]]
+        if not blocks:
+            return
+
+        def run():
+            for b in blocks:
+                if source.failed or at.failed:
+                    return
+                yield self.network.transfer(source, at, self.block_size)
+                yield at.store_write(self.block_size)
+                fr.resident[at.name].add(b)
+                self.metrics.counter("prefetch.blocks").incr()
+
+        self.sim.process(run(), name="geo.prefetch")
+
+    def _background_replicate(self, fr: FileResidency, source: Site,
+                              at: Site) -> None:
+        missing = [b for b in range(fr.block_count)
+                   if b not in fr.resident[at.name]]
+
+        def run():
+            for b in missing:
+                if source.failed or at.failed:
+                    return
+                if b in fr.resident[at.name]:
+                    continue
+                yield self.network.transfer(source, at, self.block_size)
+                yield at.store_write(self.block_size)
+                fr.resident[at.name].add(b)
+                self.metrics.counter("autoreplicate.blocks").incr()
+
+        self.sim.process(run(), name="geo.autoreplicate")
+
+    # -- administrator / user overrides (§7.1) ----------------------------------------------
+
+    def pin_replica(self, path: str, at: Site) -> Event:
+        """Force a full local copy ('automatically derived assumptions ...
+        could be overridden by either system administrators or end users')."""
+        fr = self.files[path]
+        done = Event(self.sim)
+
+        def run():
+            local = fr.resident.setdefault(at.name, set())
+            for b in range(fr.block_count):
+                if b in local:
+                    continue
+                source = self._nearest_holder(fr, b, at)
+                yield self.network.transfer(source, at, self.block_size)
+                yield at.store_write(self.block_size)
+                local.add(b)
+            done.succeed()
+
+        self.sim.process(run(), name="geo.pin")
+        return done
+
+    def evict_replica(self, path: str, at: Site) -> None:
+        """Drop a site's copy (capacity pressure), unless it's the last."""
+        fr = self.files[path]
+        if len([s for s, blocks in fr.resident.items() if blocks]) <= 1:
+            raise ValueError(f"refusing to evict the last copy of {path!r}")
+        fr.resident.pop(at.name, None)

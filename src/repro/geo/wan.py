@@ -1,0 +1,130 @@
+"""The inter-site WAN: links, routing, and bulk transfer (§7).
+
+"The link connecting sites can be one of a variety of network
+technologies – the choice of technology dictates the overall performance
+and bandwidth": each link carries its own bandwidth and a latency derived
+from fibre distance.  Routing is latency-weighted shortest path over the
+site graph (networkx), skipping failed sites, so a three-site ring keeps
+working when the middle site burns down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from ..sim.events import Event
+from ..sim.link import FairShareLink
+from ..sim.units import gbps, wan_latency
+from .site import Site
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class NoRouteError(Exception):
+    """No surviving path between two sites."""
+
+
+class WanLink(FairShareLink):
+    """One fibre run between two sites, optionally an encrypted tunnel.
+
+    §5.1: "when controller systems are deployed in multiple locations ...
+    the communication conduit between remote controller clusters would
+    also need protection."  An encrypted tunnel pushes every byte through
+    the endpoint crypto engines; with the hardware engine the effective
+    rate stays at wire speed, while software crypto throttles the link.
+    """
+
+    def __init__(self, sim: "Simulator", a: Site, b: Site,
+                 bandwidth: float = gbps(2.5),
+                 distance_km: float | None = None,
+                 encrypted: bool = False,
+                 crypto_mode: str = "hardware") -> None:
+        if distance_km is None:
+            distance_km = a.distance_to(b)
+        effective = bandwidth
+        if encrypted:
+            from ..security.crypto import CryptoCostModel
+            model = CryptoCostModel()
+            engine_rate = (model.hardware_rate if crypto_mode == "hardware"
+                           else model.software_rate)
+            # Data crosses encrypt and decrypt engines in series with the
+            # fibre; the slowest stage paces the tunnel.
+            effective = min(bandwidth, engine_rate)
+        super().__init__(sim, effective, wan_latency(distance_km),
+                         name=f"wan:{a.name}<->{b.name}")
+        self.a = a
+        self.b = b
+        self.distance_km = distance_km
+        self.encrypted = encrypted
+        self.crypto_mode = crypto_mode if encrypted else "off"
+
+
+class WanNetwork:
+    """The site graph with latency-weighted routing."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.graph = nx.Graph()
+        self.sites: dict[str, Site] = {}
+
+    def add_site(self, site: Site) -> Site:
+        """Register a site as a routing node."""
+        if site.name in self.sites:
+            raise ValueError(f"site {site.name!r} already added")
+        self.sites[site.name] = site
+        self.graph.add_node(site.name)
+        return site
+
+    def connect(self, a: Site, b: Site, bandwidth: float = gbps(2.5),
+                distance_km: float | None = None,
+                encrypted: bool = False,
+                crypto_mode: str = "hardware") -> WanLink:
+        """Lay a fibre (optionally an encrypted tunnel) between two sites."""
+        for site in (a, b):
+            if site.name not in self.sites:
+                raise ValueError(f"site {site.name!r} not in network")
+        link = WanLink(self.sim, a, b, bandwidth, distance_km,
+                       encrypted=encrypted, crypto_mode=crypto_mode)
+        self.graph.add_edge(a.name, b.name, link=link, weight=link.latency)
+        return link
+
+    # -- routing ------------------------------------------------------------------------
+
+    def route(self, src: Site, dst: Site) -> list[WanLink]:
+        """Surviving latency-shortest path; raises NoRouteError if cut."""
+        if src.failed or dst.failed:
+            raise NoRouteError(
+                f"endpoint down: {src.name if src.failed else dst.name}")
+        usable = self.graph.subgraph(
+            [name for name, site in self.sites.items()
+             if not site.failed or name in (src.name, dst.name)])
+        try:
+            names = nx.shortest_path(usable, src.name, dst.name,
+                                     weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NoRouteError(f"no path {src.name} -> {dst.name}") from exc
+        return [self.graph.edges[u, v]["link"]
+                for u, v in zip(names, names[1:])]
+
+    def rtt(self, src: Site, dst: Site) -> float:
+        """Round-trip propagation time along the current route."""
+        return 2.0 * sum(link.latency for link in self.route(src, dst))
+
+    def transfer(self, src: Site, dst: Site, nbytes: int) -> Event:
+        """Move bytes along the route; all hops carry the flow concurrently."""
+        links = self.route(src, dst)
+        if len(links) == 1:
+            return links[0].transfer(nbytes)
+        return self.sim.all_of([link.transfer(nbytes) for link in links])
+
+    def neighbors_by_distance(self, origin: Site,
+                              min_distance_km: float = 0.0) -> list[Site]:
+        """Live candidate replica sites, nearest first, at least this far."""
+        out = [site for name, site in self.sites.items()
+               if site is not origin and not site.failed
+               and origin.distance_to(site) >= min_distance_km]
+        out.sort(key=lambda s: (origin.distance_to(s), s.name))
+        return out

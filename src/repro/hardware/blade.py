@@ -1,0 +1,140 @@
+"""Controller blade model.
+
+The blade is the paper's unit of scaling: a small computer with several
+gigabytes of cache memory, two Fibre Channel connections to the disk-side
+fabric, Ethernet for host/management traffic, and a share of a PCI-X bus
+when ganged behind a high-speed port (Figure 1).  Blades run *no user code*
+(§5.2) — the only work modeled is the controller firmware's per-I/O cost.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Generator
+
+from ..sim.resources import Resource
+from ..sim.stats import TimeWeighted
+from ..sim.units import gib, us
+from .ports import Port, ethernet_port, fc_port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class BladeState(Enum):
+    """Lifecycle state of a controller blade."""
+    UP = "up"
+    FAILED = "failed"
+    DRAINING = "draining"  # rolling upgrade: finishing work, taking no new
+
+
+class BladeFailedError(Exception):
+    """Raised when work is dispatched to a blade that is not UP."""
+
+
+class ControllerBlade:
+    """One controller blade: CPU, cache memory, FC and Ethernet ports.
+
+    ``cpu_per_io`` is the firmware overhead per request; ``cpu_per_byte``
+    models per-byte costs (checksums, software crypto when enabled).  The
+    crypto engine flag gates the hardware-assisted encryption path of §5.1.
+    """
+
+    def __init__(self, sim: "Simulator", blade_id: int,
+                 cache_bytes: int = gib(4),
+                 fc_port_count: int = 2, fc_rate_gb: float = 2.0,
+                 eth_rate_gb: float = 1.0,
+                 cpu_cores: int = 2, cpu_per_io: float = us(50),
+                 cpu_per_byte: float = 0.0,
+                 has_crypto_engine: bool = False,
+                 name: str = "") -> None:
+        if cache_bytes <= 0:
+            raise ValueError(f"cache_bytes must be > 0, got {cache_bytes}")
+        if fc_port_count < 1:
+            raise ValueError(f"need at least one FC port, got {fc_port_count}")
+        self.sim = sim
+        self.blade_id = blade_id
+        self.name = name or f"blade{blade_id}"
+        self.cache_bytes = int(cache_bytes)
+        self.state = BladeState.UP
+        self.cpu = Resource(sim, capacity=cpu_cores)
+        self.cpu_per_io = cpu_per_io
+        self.cpu_per_byte = cpu_per_byte
+        self.has_crypto_engine = has_crypto_engine
+        self.fc_ports: list[Port] = [
+            fc_port(sim, fc_rate_gb, name=f"{self.name}.fc{i}")
+            for i in range(fc_port_count)
+        ]
+        self.eth_port: Port = ethernet_port(sim, eth_rate_gb,
+                                            name=f"{self.name}.eth")
+        self.cpu_utilization = TimeWeighted(sim)
+        self.ios_processed = 0
+        self._fc_rr = 0
+        self._observers: list[Callable[["ControllerBlade"], None]] = []
+
+    # -- health ---------------------------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self.state is BladeState.UP
+
+    def fail(self) -> None:
+        """Hard failure: blade drops out; its cache contents are lost."""
+        self.state = BladeState.FAILED
+        self._notify()
+
+    def repair(self) -> None:
+        """Blade replaced/rebooted; rejoins with a cold cache."""
+        self.state = BladeState.UP
+        self._notify()
+
+    def drain(self) -> None:
+        """Begin rolling-upgrade drain: no new work accepted."""
+        if self.state is BladeState.UP:
+            self.state = BladeState.DRAINING
+            self._notify()
+
+    def observe(self, fn: Callable[["ControllerBlade"], None]) -> None:
+        """Register a membership observer (cluster manager hooks in here)."""
+        self._observers.append(fn)
+
+    def _notify(self) -> None:
+        for fn in list(self._observers):
+            fn(self)
+
+    # -- work ------------------------------------------------------------------
+
+    def io_cpu_cost(self, nbytes: int) -> float:
+        """CPU seconds the firmware spends on one request of ``nbytes``."""
+        return self.cpu_per_io + self.cpu_per_byte * nbytes
+
+    def execute(self, cpu_seconds: float) -> Generator:
+        """Occupy one CPU core for ``cpu_seconds`` (a process fragment).
+
+        Raises :class:`BladeFailedError` if the blade is not UP at dispatch.
+        """
+        if self.state is not BladeState.UP:
+            raise BladeFailedError(f"{self.name} is {self.state.value}")
+        req = self.cpu.request()
+        yield req
+        self.cpu_utilization.record(self.cpu.in_use / self.cpu.capacity)
+        try:
+            yield self.sim.timeout(cpu_seconds)
+            self.ios_processed += 1
+        finally:
+            self.cpu.release(req)
+            self.cpu_utilization.record(self.cpu.in_use / self.cpu.capacity)
+
+    def next_fc_port(self) -> Port:
+        """Round-robin over the blade's disk-side FC ports."""
+        port = self.fc_ports[self._fc_rr % len(self.fc_ports)]
+        self._fc_rr += 1
+        return port
+
+    @property
+    def fc_bandwidth(self) -> float:
+        """Aggregate disk-side bandwidth of this blade's FC ports."""
+        return sum(p.bandwidth for p in self.fc_ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ControllerBlade {self.name} {self.state.value}>"

@@ -1,0 +1,78 @@
+"""Port and path abstractions over link models.
+
+A *port* is a rate-limited attachment point (FC, Ethernet, or a PCI-X bus
+slot) realized as a :class:`~repro.sim.link.FairShareLink`.  A *path* is an
+ordered set of links a transfer must cross; the flow is admitted on every
+hop concurrently, so the slowest (most contended) hop paces the transfer —
+the standard bottleneck fluid approximation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..sim.events import Event
+from ..sim.link import FairShareLink
+from ..sim.units import gbps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class Port(FairShareLink):
+    """A named, rate-limited attachment point."""
+
+    def __init__(self, sim: "Simulator", bandwidth: float,
+                 latency: float = 0.0, name: str = "port") -> None:
+        super().__init__(sim, bandwidth, latency, name=name)
+
+
+def fc_port(sim: "Simulator", rate_gb: float = 2.0, name: str = "fc") -> Port:
+    """A Fibre Channel port: 1 or 2 Gb/s in the paper's era."""
+    return Port(sim, gbps(rate_gb), latency=5e-6, name=name)
+
+
+def ethernet_port(sim: "Simulator", rate_gb: float = 10.0,
+                  name: str = "eth") -> Port:
+    """A (10) Gigabit Ethernet port."""
+    return Port(sim, gbps(rate_gb), latency=20e-6, name=name)
+
+
+def pci_x_bus(sim: "Simulator", name: str = "pcix") -> Port:
+    """A PCI-X bus: 64-bit @ 133 MHz ≈ 1.06 GB/s shared.
+
+    Figure 1's blades take turns driving the 10 Gb/s port "via a common
+    PCI-X bus"; the bus is the shared backplane hop in that path.
+    """
+    return Port(sim, 1.064e9, latency=1e-6, name=name)
+
+
+class NetworkPath:
+    """A multi-hop path; a transfer occupies all hops simultaneously.
+
+    Completion is the barrier over per-hop fluid transfers, so effective
+    throughput is set by the most contended hop, and total latency is the
+    max of hop latencies (hops overlap in a cut-through fashion, which is
+    what high-speed storage fabrics do).
+    """
+
+    def __init__(self, links: Iterable[FairShareLink], name: str = "path") -> None:
+        self.links = list(links)
+        if not self.links:
+            raise ValueError("a path needs at least one link")
+        self.name = name
+        sims = {link.sim for link in self.links}
+        if len(sims) != 1:
+            raise ValueError("all links in a path must share a simulator")
+        self.sim = self.links[0].sim
+
+    def transfer(self, nbytes: float) -> Event:
+        """Move ``nbytes`` along the path; fires when every hop is done."""
+        if len(self.links) == 1:
+            return self.links[0].transfer(nbytes)
+        return self.sim.all_of([link.transfer(nbytes) for link in self.links])
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Path capacity if it were uncontended."""
+        return min(link.bandwidth for link in self.links)

@@ -1,0 +1,74 @@
+"""Switch fabric models.
+
+Two fabrics appear in the paper's figures: the Fibre Channel switches
+between controller blades and the disk farm (Figure 1), and the host-side /
+management networks (Figure 2).  A fabric is a shared backplane: any
+port-to-port transfer crosses the source port, the backplane, and the
+destination port, each a fair-share fluid link.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.link import FairShareLink
+from ..sim.units import gbps
+from .ports import NetworkPath, Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class Fabric:
+    """A switch with a finite backplane and named member ports.
+
+    Real FC directors are roughly non-blocking for modest port counts, so
+    the default backplane is provisioned generously; constraining it lets
+    experiments model an oversubscribed edge switch.
+    """
+
+    def __init__(self, sim: "Simulator", backplane_bandwidth: float | None = None,
+                 latency: float = 2e-6, name: str = "fabric") -> None:
+        self.sim = sim
+        self.name = name
+        if backplane_bandwidth is None:
+            backplane_bandwidth = gbps(256)  # effectively non-blocking
+        self.backplane = FairShareLink(sim, backplane_bandwidth, latency,
+                                       name=f"{name}.backplane")
+        self._ports: dict[str, Port] = {}
+
+    def attach(self, port: Port) -> Port:
+        """Register a port on this fabric (by its name)."""
+        if port.name in self._ports:
+            raise ValueError(f"port {port.name!r} already attached to {self.name}")
+        self._ports[port.name] = port
+        return port
+
+    def port(self, name: str) -> Port:
+        """Look up an attached port by name."""
+        return self._ports[name]
+
+    @property
+    def port_count(self) -> int:
+        return len(self._ports)
+
+    def path(self, src: Port, dst: Port) -> NetworkPath:
+        """The three-hop path src → backplane → dst.
+
+        Ports need not have been attached; attachment is bookkeeping for
+        zoning (see :mod:`repro.security.zones`).
+        """
+        if src is dst:
+            raise ValueError("source and destination port are the same")
+        return NetworkPath([src, self.backplane, dst],
+                           name=f"{self.name}:{src.name}->{dst.name}")
+
+
+def fc_switch(sim: "Simulator", name: str = "fcsw") -> Fabric:
+    """A Fibre Channel switch as in Figure 1 (non-blocking for our scale)."""
+    return Fabric(sim, backplane_bandwidth=gbps(128), latency=2e-6, name=name)
+
+
+def ethernet_switch(sim: "Simulator", name: str = "ethsw") -> Fabric:
+    """A data-center Ethernet switch."""
+    return Fabric(sim, backplane_bandwidth=gbps(160), latency=5e-6, name=name)

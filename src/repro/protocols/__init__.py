@@ -1,0 +1,40 @@
+"""Protocol export and network integration (§2.3, §8, Figure 1)."""
+
+from .ftp import FtpExport
+from .http import DirectHttpExport, ServerMediatedExport
+from .iscsi import IscsiPortal
+from .nas import NasServer
+from .rtsp import RtspSession, SessionStats, run_sessions
+from .scsi import ScsiTarget
+from .transports import (
+    ALL_TRANSPORTS,
+    DAFS_TRANSPORT,
+    FC_TRANSPORT,
+    INFINIBAND_VI_TRANSPORT,
+    TCP_IP_TRANSPORT,
+    TransportEndpoint,
+    TransportProfile,
+)
+from .streaming import StreamResult, StripedStreamAggregator, figure1_configuration
+
+__all__ = [
+    "ALL_TRANSPORTS",
+    "DAFS_TRANSPORT",
+    "DirectHttpExport",
+    "FC_TRANSPORT",
+    "INFINIBAND_VI_TRANSPORT",
+    "TCP_IP_TRANSPORT",
+    "TransportEndpoint",
+    "TransportProfile",
+    "FtpExport",
+    "IscsiPortal",
+    "NasServer",
+    "RtspSession",
+    "ScsiTarget",
+    "ServerMediatedExport",
+    "SessionStats",
+    "run_sessions",
+    "StreamResult",
+    "StripedStreamAggregator",
+    "figure1_configuration",
+]

@@ -1,0 +1,47 @@
+"""RAID: layouts, parity math, arrays, and the distributed rebuild engine."""
+
+from .array import RaidArray, UnrecoverableArrayError, coalesce
+from .decluster import (
+    DeclusteredPool,
+    DeclusteredRebuildEngine,
+    DeclusteredRebuildJob,
+)
+from .layout import ChunkAddress, IoOp, RaidLayout, RaidLevel
+from .parity import (
+    gf_div,
+    gf_mul,
+    gf_mul_block,
+    gf_pow,
+    mirror_copies,
+    raid5_reconstruct,
+    raid6_pq,
+    raid6_recover_one_data,
+    raid6_recover_two_data,
+    xor_parity,
+)
+from .rebuild import RebuildEngine, RebuildJob
+
+__all__ = [
+    "ChunkAddress",
+    "DeclusteredPool",
+    "DeclusteredRebuildEngine",
+    "DeclusteredRebuildJob",
+    "IoOp",
+    "RaidArray",
+    "RaidLayout",
+    "RaidLevel",
+    "RebuildEngine",
+    "RebuildJob",
+    "UnrecoverableArrayError",
+    "coalesce",
+    "gf_div",
+    "gf_mul",
+    "gf_mul_block",
+    "gf_pow",
+    "mirror_copies",
+    "raid5_reconstruct",
+    "raid6_pq",
+    "raid6_recover_one_data",
+    "raid6_recover_two_data",
+    "xor_parity",
+]

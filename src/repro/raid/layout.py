@@ -1,0 +1,199 @@
+"""RAID address mapping: logical byte ranges → per-disk I/O plans.
+
+The paper lets the file system override "the automatic selection of RAID
+type" per file (§4), so the virtualization layer needs every classic level:
+0 (stripe), 1 (mirror), 5 (rotating single parity, left-symmetric), 6
+(rotating double parity), and 10 (striped mirrors).
+
+A *plan* is a list of :class:`IoOp` — pure data; the timing layer executes
+plans against simulated disks, and the functional layer executes them
+against real byte arrays when verifying parity math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RaidLevel(Enum):
+    """The classic RAID levels the virtualization layer can place."""
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+    RAID6 = "raid6"
+    RAID10 = "raid10"
+
+
+@dataclass(frozen=True)
+class IoOp:
+    """One disk operation in a plan."""
+
+    disk: int
+    offset: int
+    nbytes: int
+    op: str  # "read" | "write"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"op must be read/write, got {self.op!r}")
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError("offset/nbytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChunkAddress:
+    """Where one logical chunk lives: data disk + offset, plus parity disks."""
+
+    stripe: int
+    disk: int
+    offset: int
+    parity_disks: tuple[int, ...]
+
+
+class RaidLayout:
+    """Geometry of an array: level, member count, chunk size.
+
+    All mapping functions are pure and unit-tested against hand-computed
+    examples; the same math drives both simulation and reconstruction.
+    """
+
+    def __init__(self, level: RaidLevel, disk_count: int,
+                 chunk_size: int = 64 * 1024, disk_capacity: int = 0) -> None:
+        minimum = {RaidLevel.RAID0: 1, RaidLevel.RAID1: 2, RaidLevel.RAID5: 3,
+                   RaidLevel.RAID6: 4, RaidLevel.RAID10: 4}[level]
+        if disk_count < minimum:
+            raise ValueError(
+                f"{level.value} needs >= {minimum} disks, got {disk_count}")
+        if level is RaidLevel.RAID10 and disk_count % 2:
+            raise ValueError("raid10 needs an even number of disks")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+        self.level = level
+        self.disk_count = disk_count
+        self.chunk_size = chunk_size
+        self.disk_capacity = disk_capacity
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def data_disks_per_stripe(self) -> int:
+        if self.level is RaidLevel.RAID0:
+            return self.disk_count
+        if self.level is RaidLevel.RAID1:
+            return 1
+        if self.level is RaidLevel.RAID5:
+            return self.disk_count - 1
+        if self.level is RaidLevel.RAID6:
+            return self.disk_count - 2
+        return self.disk_count // 2  # RAID10
+
+    @property
+    def redundancy(self) -> int:
+        """How many simultaneous disk losses the layout tolerates."""
+        return {RaidLevel.RAID0: 0, RaidLevel.RAID1: self.disk_count - 1,
+                RaidLevel.RAID5: 1, RaidLevel.RAID6: 2,
+                RaidLevel.RAID10: 1}[self.level]
+
+    @property
+    def stripe_data_bytes(self) -> int:
+        return self.data_disks_per_stripe * self.chunk_size
+
+    def usable_capacity(self) -> int:
+        """Client-visible bytes given the member disk capacity."""
+        if not self.disk_capacity:
+            raise ValueError("layout created without disk_capacity")
+        stripes = self.disk_capacity // self.chunk_size
+        return stripes * self.stripe_data_bytes
+
+    def space_overhead(self) -> float:
+        """Fraction of raw capacity consumed by redundancy."""
+        total = self.disk_count
+        return 1.0 - self.data_disks_per_stripe / total
+
+    # -- chunk addressing ---------------------------------------------------------
+
+    def parity_disks(self, stripe: int) -> tuple[int, ...]:
+        """Parity member(s) for a stripe (rotating, left-symmetric)."""
+        n = self.disk_count
+        if self.level is RaidLevel.RAID5:
+            return ((n - 1 - stripe % n),)
+        if self.level is RaidLevel.RAID6:
+            p = (n - 1 - stripe % n)
+            q = (p + 1) % n
+            return (p, q)
+        return ()
+
+    def chunk_address(self, logical_chunk: int) -> ChunkAddress:
+        """Map a logical chunk index to its physical home."""
+        if logical_chunk < 0:
+            raise ValueError(f"logical_chunk must be >= 0, got {logical_chunk}")
+        n = self.disk_count
+        c = self.chunk_size
+        level = self.level
+        if level is RaidLevel.RAID0:
+            stripe = logical_chunk // n
+            disk = logical_chunk % n
+            return ChunkAddress(stripe, disk, stripe * c, ())
+        if level is RaidLevel.RAID1:
+            # chunk k lives at offset k*c on every mirror; primary is disk 0.
+            return ChunkAddress(logical_chunk, 0, logical_chunk * c,
+                                tuple(range(1, n)))
+        if level is RaidLevel.RAID10:
+            pairs = n // 2
+            stripe = logical_chunk // pairs
+            pair = logical_chunk % pairs
+            disk = pair * 2
+            return ChunkAddress(stripe, disk, stripe * c, (disk + 1,))
+        # Rotating parity levels.
+        d = self.data_disks_per_stripe
+        stripe = logical_chunk // d
+        pos = logical_chunk % d
+        parity = self.parity_disks(stripe)
+        # Left-symmetric: data starts just after the (last) parity disk.
+        start = (parity[-1] + 1) % n
+        disk = start
+        placed = 0
+        while True:
+            if disk not in parity:
+                if placed == pos:
+                    break
+                placed += 1
+            disk = (disk + 1) % n
+        return ChunkAddress(stripe, disk, stripe * c, parity)
+
+    def stripe_members(self, stripe: int) -> tuple[list[int], tuple[int, ...]]:
+        """(data disks in logical order, parity disks) for a stripe."""
+        parity = self.parity_disks(stripe)
+        if self.level in (RaidLevel.RAID0,):
+            return list(range(self.disk_count)), ()
+        if self.level is RaidLevel.RAID1:
+            return [0], tuple(range(1, self.disk_count))
+        if self.level is RaidLevel.RAID10:
+            return [p * 2 for p in range(self.disk_count // 2)], ()
+        n = self.disk_count
+        start = (parity[-1] + 1) % n
+        data: list[int] = []
+        disk = start
+        while len(data) < self.data_disks_per_stripe:
+            if disk not in parity:
+                data.append(disk)
+            disk = (disk + 1) % n
+        return data, parity
+
+    # -- range mapping -------------------------------------------------------------
+
+    def chunks_for_range(self, offset: int, nbytes: int) -> list[tuple[int, int, int]]:
+        """Split a byte range into (logical_chunk, intra_offset, length) pieces."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset/nbytes must be >= 0")
+        pieces: list[tuple[int, int, int]] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            chunk = pos // self.chunk_size
+            intra = pos % self.chunk_size
+            take = min(self.chunk_size - intra, end - pos)
+            pieces.append((chunk, intra, take))
+            pos += take
+        return pieces

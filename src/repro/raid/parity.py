@@ -1,0 +1,156 @@
+"""Parity arithmetic: XOR (RAID-5) and GF(256) Reed-Solomon (RAID-6).
+
+This module is *functional*, not simulated: it operates on real byte
+buffers so reconstruction correctness is provable in tests.  The GF(256)
+field uses the standard RAID-6 generator polynomial x^8 + x^4 + x^3 + x^2
++ 1 (0x11D) with g = 2, matching the Linux-md construction:
+
+    P = D0 ^ D1 ^ ... ^ Dn-1
+    Q = g^0·D0 ^ g^1·D1 ^ ... ^ g^(n-1)·Dn-1
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_POLY = 0x11D
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two GF(256) scalars."""
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide GF(256) scalars (b != 0)."""
+    if b == 0:
+        raise ZeroDivisionError("GF(256) division by zero")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+
+def gf_pow(base: int, exponent: int) -> int:
+    """base ** exponent in GF(256)."""
+    if base == 0:
+        return 0 if exponent else 1
+    return int(_EXP[(int(_LOG[base]) * exponent) % 255])
+
+
+def gf_mul_block(block: np.ndarray, scalar: int) -> np.ndarray:
+    """Multiply every byte of ``block`` by ``scalar`` in GF(256)."""
+    if scalar == 0:
+        return np.zeros_like(block)
+    if scalar == 1:
+        return block.copy()
+    shift = int(_LOG[scalar])
+    out = np.zeros_like(block)
+    nz = block != 0
+    out[nz] = _EXP[_LOG[block[nz]] + shift]
+    return out
+
+
+def _as_arrays(blocks: Sequence[bytes | np.ndarray]) -> list[np.ndarray]:
+    arrays = [np.frombuffer(b, dtype=np.uint8) if isinstance(b, (bytes, bytearray))
+              else np.asarray(b, dtype=np.uint8) for b in blocks]
+    if not arrays:
+        raise ValueError("need at least one block")
+    size = arrays[0].size
+    if any(a.size != size for a in arrays):
+        raise ValueError("all blocks must be the same size")
+    return arrays
+
+
+def xor_parity(blocks: Sequence[bytes | np.ndarray]) -> np.ndarray:
+    """RAID-5 parity: byte-wise XOR of all data blocks."""
+    arrays = _as_arrays(blocks)
+    out = arrays[0].copy()
+    for a in arrays[1:]:
+        np.bitwise_xor(out, a, out=out)
+    return out
+
+
+def raid5_reconstruct(surviving: Sequence[bytes | np.ndarray]) -> np.ndarray:
+    """Recover one missing block given the other data blocks and parity.
+
+    XOR is its own inverse, so the recovery computation *is* the parity
+    computation over the survivors.
+    """
+    return xor_parity(surviving)
+
+
+def raid6_pq(blocks: Sequence[bytes | np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the (P, Q) syndromes over data blocks in index order."""
+    arrays = _as_arrays(blocks)
+    p = arrays[0].copy()
+    q = gf_mul_block(arrays[0], gf_pow(2, 0))
+    for i, a in enumerate(arrays[1:], start=1):
+        np.bitwise_xor(p, a, out=p)
+        np.bitwise_xor(q, gf_mul_block(a, gf_pow(2, i)), out=q)
+    return p, q
+
+
+def raid6_recover_one_data(blocks: Sequence[np.ndarray | None],
+                           p: np.ndarray) -> np.ndarray:
+    """Recover a single missing data block using P (treat as RAID-5)."""
+    present = [b for b in blocks if b is not None]
+    if len(present) != len(blocks) - 1:
+        raise ValueError("exactly one data block must be missing")
+    return xor_parity([*present, p])
+
+
+def raid6_recover_two_data(blocks: Sequence[np.ndarray | None],
+                           p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Recover two missing data blocks from P and Q.
+
+    With blocks x and y missing (x < y), solving the syndrome equations:
+
+        Dx = (g^(y-x) · (P ^ Pxy) ^ (Q ^ Qxy)/g^x) / (g^(y-x) ^ 1)
+        Dy = P ^ Pxy ^ Dx
+
+    where Pxy/Qxy are syndromes computed with the missing blocks zeroed.
+    """
+    missing = [i for i, b in enumerate(blocks) if b is None]
+    if len(missing) != 2:
+        raise ValueError(f"exactly two blocks must be missing, got {len(missing)}")
+    x, y = missing
+    zeroed = [b if b is not None else np.zeros_like(p) for b in blocks]
+    pxy, qxy = raid6_pq(zeroed)
+    dp = np.bitwise_xor(p, pxy)
+    dq = np.bitwise_xor(q, qxy)
+    g_yx = gf_pow(2, y - x)
+    denom = g_yx ^ 1
+    a_coeff = gf_div(g_yx, denom)
+    b_coeff = gf_div(1, gf_mul(gf_pow(2, x), denom))
+    dx = np.bitwise_xor(gf_mul_block(dp, a_coeff), gf_mul_block(dq, b_coeff))
+    dy = np.bitwise_xor(dp, dx)
+    return dx, dy
+
+
+def mirror_copies(block: bytes | np.ndarray, count: int) -> list[np.ndarray]:
+    """RAID-1: the 'parity' of a mirror is the data itself, ``count`` times."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    arr = _as_arrays([block])[0]
+    return [arr.copy() for _ in range(count)]

@@ -1,0 +1,44 @@
+"""Data security: auth, LUN masking, encryption, fabric zoning (§5)."""
+
+from .audit import AuditEvent, AuditLog
+from .auth import Account, AuthError, Authenticator, Token
+from .crypto import (
+    CryptoCostModel,
+    EncryptedBlockStore,
+    StreamCipher,
+    derive_key,
+)
+from .lun_masking import LunMaskingTable, MaskingViolation
+from .zones import (
+    CONTROL_COMMANDS,
+    AttackResult,
+    SecureInstallation,
+    Zone,
+    ZoneConfig,
+    hardened_installation,
+    naive_installation,
+    secure_default_zones,
+)
+
+__all__ = [
+    "CONTROL_COMMANDS",
+    "Account",
+    "AttackResult",
+    "AuditEvent",
+    "AuditLog",
+    "AuthError",
+    "Authenticator",
+    "CryptoCostModel",
+    "EncryptedBlockStore",
+    "LunMaskingTable",
+    "MaskingViolation",
+    "SecureInstallation",
+    "StreamCipher",
+    "Token",
+    "Zone",
+    "ZoneConfig",
+    "derive_key",
+    "hardened_installation",
+    "naive_installation",
+    "secure_default_zones",
+]

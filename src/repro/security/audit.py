@@ -1,0 +1,60 @@
+"""Tamper-evident audit log for security decisions."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One immutable audit record, chained to its predecessors."""
+    time: float
+    actor: str
+    action: str
+    outcome: str  # "allowed" | "denied"
+    detail: str = ""
+    chain: str = ""  # hash chain for tamper evidence
+
+
+class AuditLog:
+    """Append-only event log with a hash chain.
+
+    Each record's ``chain`` commits to all prior records, so truncation or
+    in-place edits are detectable by :meth:`verify_chain`.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[AuditEvent] = []
+        self._head = "genesis"
+
+    def record(self, time: float, actor: str, action: str, outcome: str,
+               detail: str = "") -> AuditEvent:
+        """Append an event, extending the tamper-evidence hash chain."""
+        payload = f"{self._head}|{time}|{actor}|{action}|{outcome}|{detail}"
+        chain = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        event = AuditEvent(time, actor, action, outcome, detail, chain)
+        self.events.append(event)
+        self._head = chain
+        return event
+
+    def verify_chain(self) -> bool:
+        """Recompute the chain; False if any record was altered."""
+        head = "genesis"
+        for ev in self.events:
+            payload = f"{head}|{ev.time}|{ev.actor}|{ev.action}|{ev.outcome}|{ev.detail}"
+            if hashlib.sha256(payload.encode("utf-8")).hexdigest() != ev.chain:
+                return False
+            head = ev.chain
+        return True
+
+    def denied(self) -> list[AuditEvent]:
+        """All events with outcome 'denied'."""
+        return [e for e in self.events if e.outcome == "denied"]
+
+    def allowed(self) -> list[AuditEvent]:
+        """All events with outcome 'allowed'."""
+        return [e for e in self.events if e.outcome == "allowed"]
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,140 @@
+"""Authentication and policy application (§5).
+
+"Ensuring proper user authentication and policy application before
+allowing access to data or control paths."  Accounts hold salted secret
+hashes; successful authentication yields expiring tokens; authorization
+consults role-based grants of (resource, action) pairs, default-deny.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets as _secrets
+from dataclasses import dataclass, field
+
+from .audit import AuditLog
+
+
+class AuthError(Exception):
+    """Authentication or authorization failure."""
+
+
+def _hash_secret(secret: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", secret.encode("utf-8"), salt, 1000)
+
+
+@dataclass
+class Account:
+    """One principal: salted secret hash plus role memberships."""
+    username: str
+    salt: bytes
+    secret_hash: bytes
+    roles: set[str] = field(default_factory=set)
+    disabled: bool = False
+
+
+@dataclass
+class Token:
+    """A session credential with an expiry."""
+    value: str
+    username: str
+    issued_at: float
+    expires_at: float
+
+
+class Authenticator:
+    """Accounts, tokens, and role-based authorization."""
+
+    def __init__(self, audit: AuditLog | None = None,
+                 token_lifetime: float = 3600.0) -> None:
+        self.accounts: dict[str, Account] = {}
+        self._tokens: dict[str, Token] = {}
+        self._grants: dict[str, set[tuple[str, str]]] = {}  # role -> perms
+        self.audit = audit or AuditLog()
+        self.token_lifetime = token_lifetime
+        self.failed_attempts = 0
+
+    # -- account management -------------------------------------------------------
+
+    def add_account(self, username: str, secret: str,
+                    roles: set[str] | None = None) -> None:
+        """Create an account with a salted, PBKDF2-hashed secret."""
+        if username in self.accounts:
+            raise ValueError(f"account {username!r} exists")
+        salt = _secrets.token_bytes(16)
+        self.accounts[username] = Account(
+            username, salt, _hash_secret(secret, salt), roles or set())
+
+    def disable_account(self, username: str) -> None:
+        """Lock an account; future logins fail."""
+        self.accounts[username].disabled = True
+
+    def grant(self, role: str, resource: str, action: str) -> None:
+        """Allow members of ``role`` to perform ``action`` on ``resource``.
+
+        Resources support a trailing ``*`` wildcard (``volume:phys-*``).
+        """
+        self._grants.setdefault(role, set()).add((resource, action))
+
+    # -- authentication ---------------------------------------------------------------
+
+    def authenticate(self, username: str, secret: str, now: float = 0.0) -> Token:
+        """Verify a secret and issue an expiring token (failures audited)."""
+        account = self.accounts.get(username)
+        if account is None or account.disabled:
+            self.failed_attempts += 1
+            self.audit.record(now, username, "authenticate", "denied",
+                              detail="unknown or disabled account")
+            raise AuthError("authentication failed")
+        expected = _hash_secret(secret, account.salt)
+        if not hmac.compare_digest(expected, account.secret_hash):
+            self.failed_attempts += 1
+            self.audit.record(now, username, "authenticate", "denied",
+                              detail="bad secret")
+            raise AuthError("authentication failed")
+        token = Token(_secrets.token_hex(16), username, now,
+                      now + self.token_lifetime)
+        self._tokens[token.value] = token
+        self.audit.record(now, username, "authenticate", "allowed")
+        return token
+
+    def _resolve(self, token_value: str, now: float) -> Account:
+        token = self._tokens.get(token_value)
+        if token is None:
+            raise AuthError("invalid token")
+        if now > token.expires_at:
+            del self._tokens[token_value]
+            raise AuthError("token expired")
+        return self.accounts[token.username]
+
+    # -- authorization ---------------------------------------------------------------
+
+    def authorize(self, token_value: str, resource: str, action: str,
+                  now: float = 0.0) -> bool:
+        """Default-deny check; every decision is audited."""
+        try:
+            account = self._resolve(token_value, now)
+        except AuthError:
+            self.audit.record(now, "?", action, "denied",
+                              detail=f"bad token for {resource}")
+            return False
+        for role in account.roles:
+            for granted_resource, granted_action in self._grants.get(role, ()):
+                if granted_action not in (action, "*"):
+                    continue
+                if granted_resource == resource or (
+                        granted_resource.endswith("*")
+                        and resource.startswith(granted_resource[:-1])):
+                    self.audit.record(now, account.username, action,
+                                      "allowed", detail=resource)
+                    return True
+        self.audit.record(now, account.username, action, "denied",
+                          detail=resource)
+        return False
+
+    def require(self, token_value: str, resource: str, action: str,
+                now: float = 0.0) -> None:
+        """Authorize or raise AuthError."""
+        if not self.authorize(token_value, resource, action, now):
+            raise AuthError(f"not authorized: {action} on {resource}")

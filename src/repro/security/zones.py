@@ -1,0 +1,193 @@
+"""Architectural security: fabric separation and command filtering (§5.2, Figure 2).
+
+Figure 2's "Secure Network Installation" separates three domains:
+
+* the **host fabric** clients attach to;
+* the **trusted disk fabric** between controllers and the disk farm;
+* a dedicated **out-of-band management network** behind a firewall.
+
+On top of the separation, the controllers (a) can selectively disable
+in-band control commands per port, (b) run no user code at all, and (c)
+accept management commands only via authenticated out-of-band sessions.
+:class:`SecureInstallation` evaluates concrete attack attempts against a
+configuration — the E8 experiment runs the same attack suite against this
+and against a flat, unzoned baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .audit import AuditLog
+
+
+class Zone(Enum):
+    """The three security domains of Figure 2."""
+    HOST_FABRIC = "host_fabric"
+    DISK_FABRIC = "disk_fabric"
+    MGMT_NET = "mgmt_net"
+
+
+#: Control commands a host could try to issue in-band.
+CONTROL_COMMANDS = frozenset({
+    "create_volume", "delete_volume", "modify_masking", "firmware_update",
+    "read_config", "set_policy",
+})
+
+
+@dataclass
+class ZoneConfig:
+    """Which zones may exchange traffic (directed pairs)."""
+
+    allowed_paths: set[tuple[Zone, Zone]] = field(default_factory=set)
+
+    def allow(self, src: Zone, dst: Zone) -> None:
+        """Permit directed traffic from ``src`` zone to ``dst`` zone."""
+        self.allowed_paths.add((src, dst))
+
+    def permits(self, src: Zone, dst: Zone) -> bool:
+        """True if traffic may flow from ``src`` to ``dst``."""
+        return src == dst or (src, dst) in self.allowed_paths
+
+
+def secure_default_zones() -> ZoneConfig:
+    """Figure 2's wiring: hosts never reach the disk fabric directly."""
+    cfg = ZoneConfig()
+    cfg.allow(Zone.HOST_FABRIC, Zone.DISK_FABRIC)  # only via controllers
+    return cfg
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack attempt against an installation."""
+    name: str
+    blocked: bool
+    reason: str
+
+
+class SecureInstallation:
+    """A deployable security configuration, checkable against attacks."""
+
+    def __init__(self, zones: ZoneConfig | None = None,
+                 separate_fabrics: bool = True,
+                 out_of_band_mgmt: bool = True,
+                 encrypt_at_rest: bool = True,
+                 audit: AuditLog | None = None) -> None:
+        self.zones = zones or secure_default_zones()
+        self.separate_fabrics = separate_fabrics
+        self.out_of_band_mgmt = out_of_band_mgmt
+        self.encrypt_at_rest = encrypt_at_rest
+        self.audit = audit or AuditLog()
+        #: per-port sets of disabled in-band control commands
+        self._inband_disabled: dict[str, set[str]] = {}
+
+    # -- configuration -------------------------------------------------------------
+
+    def disable_inband_command(self, port: str, command: str) -> None:
+        """§5.2: 'selectively disabled (on a command-by-command,
+        port-by-port basis)'."""
+        if command not in CONTROL_COMMANDS:
+            raise ValueError(f"unknown control command {command!r}")
+        self._inband_disabled.setdefault(port, set()).add(command)
+
+    def disable_all_inband_control(self, port: str) -> None:
+        """Turn off every in-band control command on a port."""
+        self._inband_disabled[port] = set(CONTROL_COMMANDS)
+
+    # -- attack checks ---------------------------------------------------------------
+
+    def attempt_inband_control(self, port: str, command: str,
+                               now: float = 0.0) -> AttackResult:
+        """A host sends a control command over the data path."""
+        if command in self._inband_disabled.get(port, set()):
+            self.audit.record(now, port, command, "denied", "in-band filter")
+            return AttackResult("inband_control", True,
+                                f"{command} disabled on {port}")
+        self.audit.record(now, port, command, "allowed", "in-band")
+        return AttackResult("inband_control", False,
+                            f"{command} accepted in-band on {port}")
+
+    def attempt_cross_fabric(self, src: Zone, dst: Zone,
+                             now: float = 0.0) -> AttackResult:
+        """A compromised host tries to talk straight to the disk fabric."""
+        if not self.separate_fabrics:
+            self.audit.record(now, src.value, "cross_fabric", "allowed")
+            return AttackResult("cross_fabric", False,
+                                "single flat fabric: direct disk access")
+        if self.zones.permits(src, dst) and dst is not Zone.DISK_FABRIC:
+            self.audit.record(now, src.value, "cross_fabric", "allowed")
+            return AttackResult("cross_fabric", False, "zoning permits path")
+        if src is Zone.HOST_FABRIC and dst is Zone.DISK_FABRIC:
+            # The only permitted host→disk path is *through* a controller,
+            # which re-validates; raw fabric traversal is blocked.
+            self.audit.record(now, src.value, "cross_fabric", "denied",
+                              "separate fabrics")
+            return AttackResult("cross_fabric", True,
+                                "host fabric isolated from disk fabric")
+        self.audit.record(now, src.value, "cross_fabric", "denied", "zoning")
+        return AttackResult("cross_fabric", True, "zone policy")
+
+    def attempt_user_code(self, payload: str, now: float = 0.0) -> AttackResult:
+        """§5.2: 'the controllers would not execute any user code'."""
+        self.audit.record(now, "host", "execute_user_code", "denied",
+                          payload[:32])
+        return AttackResult("user_code", True,
+                            "controllers execute no user code")
+
+    def attempt_mgmt_from_host_net(self, authenticated: bool,
+                                   now: float = 0.0) -> AttackResult:
+        """Management attempted from the host network instead of OOB."""
+        if self.out_of_band_mgmt:
+            self.audit.record(now, "host", "mgmt_access", "denied",
+                              "must use out-of-band network")
+            return AttackResult("mgmt_path", True,
+                                "management restricted to OOB network")
+        if authenticated:
+            self.audit.record(now, "host", "mgmt_access", "allowed")
+            return AttackResult("mgmt_path", False, "in-band mgmt allowed")
+        self.audit.record(now, "host", "mgmt_access", "denied", "no auth")
+        return AttackResult("mgmt_path", True, "unauthenticated")
+
+    def attempt_stolen_disk_read(self, ciphertext_readable: bool = True,
+                                 now: float = 0.0) -> AttackResult:
+        """A drive leaves the building (warranty return, §5.1)."""
+        if self.encrypt_at_rest:
+            self.audit.record(now, "thief", "stolen_disk", "denied",
+                              "at-rest encryption")
+            return AttackResult("stolen_disk", True,
+                                "on-disk data and metadata are ciphertext")
+        self.audit.record(now, "thief", "stolen_disk", "allowed")
+        return AttackResult("stolen_disk", False,
+                            "plaintext on disk" if ciphertext_readable
+                            else "plaintext")
+
+    def run_attack_suite(self) -> list[AttackResult]:
+        """The standard E8 battery against this configuration."""
+        results = [
+            self.attempt_inband_control("host-port-1", "modify_masking"),
+            self.attempt_inband_control("host-port-1", "firmware_update"),
+            self.attempt_cross_fabric(Zone.HOST_FABRIC, Zone.DISK_FABRIC),
+            self.attempt_user_code("#!/bin/sh rm -rf /"),
+            self.attempt_mgmt_from_host_net(authenticated=True),
+            self.attempt_stolen_disk_read(),
+        ]
+        return results
+
+
+def hardened_installation() -> SecureInstallation:
+    """The paper's recommended deployment, fully locked down."""
+    inst = SecureInstallation()
+    inst.disable_all_inband_control("host-port-1")
+    inst.disable_all_inband_control("host-port-2")
+    return inst
+
+
+def naive_installation() -> SecureInstallation:
+    """A traditional flat SAN: one fabric, in-band management, no crypto."""
+    cfg = ZoneConfig()
+    for a in Zone:
+        for b in Zone:
+            cfg.allow(a, b)
+    return SecureInstallation(zones=cfg, separate_fabrics=False,
+                              out_of_band_mgmt=False, encrypt_at_rest=False)

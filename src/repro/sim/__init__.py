@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate substitution for the paper's physical testbed
+(controller blades, Fibre Channel fabrics, WAN circuits): a small,
+SimPy-style event kernel with generator processes, queueing resources,
+fluid fair-share links, metric collectors, and seeded RNG streams.
+"""
+
+from .engine import SimulationError, Simulator
+from .events import AllOf, AnyOf, ConditionError, Event, Timeout
+from .link import FairShareLink, FcfsLink
+from .process import Interrupt, Process
+from .replications import ReplicationSummary, replicate, summarize
+from .resources import Container, PriorityResource, Request, Resource, Store
+from .rng import RngStreams, stable_hash
+from .stats import Counter, Histogram, MetricSet, RateMeter, Tally, TimeWeighted
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConditionError",
+    "Container",
+    "Counter",
+    "Event",
+    "FairShareLink",
+    "FcfsLink",
+    "Histogram",
+    "Interrupt",
+    "MetricSet",
+    "PriorityResource",
+    "Process",
+    "RateMeter",
+    "ReplicationSummary",
+    "Request",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Tally",
+    "TimeWeighted",
+    "Timeout",
+    "replicate",
+    "stable_hash",
+    "summarize",
+]

@@ -1,0 +1,122 @@
+"""The discrete-event simulation engine.
+
+A tiny, deterministic event kernel in the style of SimPy: a time-ordered heap
+of events, generator-based processes, and helpers for timeouts and run-until
+loops.  Determinism is guaranteed by a monotonically increasing sequence
+number that breaks time ties in FIFO order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Iterable
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGen
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Event loop owning simulated time.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> p = sim.process(hello())
+    >>> sim.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event, Callable[[Event], None] | None]] = []
+        self._seq = count()
+        self._active = True
+
+    # -- scheduling (kernel internal) ----------------------------------------
+
+    def _enqueue(self, delay: float, event: Event,
+                 callback: Callable[[Event], None] | None = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event, callback))
+
+    # -- public factory helpers ----------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event, to be succeeded/failed by model code."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator as a process; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Barrier: succeeds when all ``events`` have succeeded."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race: succeeds when the first of ``events`` succeeds."""
+        return AnyOf(self, list(events))
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event.  Raises IndexError when empty."""
+        when, _seq, event, callback = heapq.heappop(self._queue)
+        self.now = when
+        if callback is not None:
+            # Direct delivery (interrupts): bypass the event's own callbacks.
+            callback(event)
+            return
+        if event._processed:
+            return
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks or ():
+            fn(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` if none are queued."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<float>`` — run until simulated time reaches that instant.
+        * ``until=<Event>`` — run until the event is processed; returns its
+          value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before `until` fired")
+                self.step()
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        horizon = float(until)
+        if horizon < self.now:
+            raise SimulationError(
+                f"run(until={horizon}) is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self.now = horizon
+        return None

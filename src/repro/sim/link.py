@@ -1,0 +1,196 @@
+"""Link models: fluid fair-share pipes and store-and-forward FCFS pipes.
+
+The paper's throughput claims (Figure 1, §2.1, §8) are contention arguments:
+a 2 Gb/s Fibre Channel port shared by several streams gives each a fair
+fraction; four blades aggregating can fill a 10 Gb/s port.  The
+:class:`FairShareLink` implements the classic fluid-flow generalized
+processor sharing model: at any instant, the ``B`` bytes/s of capacity is
+split equally among active transfers, and the model re-solves completion
+times whenever the active set changes.
+
+:class:`FcfsLink` is the simpler store-and-forward alternative (one transfer
+at a time); the ablation benchmark compares the two on the Figure 1 setup.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING
+
+from .events import Event
+from .resources import Resource
+from .stats import TimeWeighted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+_EPS_BYTES = 1e-6
+
+
+class _Flow:
+    """One in-flight transfer on a fluid link."""
+    __slots__ = ("remaining", "done", "nbytes")
+
+    def __init__(self, nbytes: float, done: Event) -> None:
+        self.nbytes = nbytes
+        self.remaining = float(nbytes)
+        self.done = done
+
+
+class FairShareLink:
+    """A bidirectionally-shared fluid link of fixed capacity.
+
+    All concurrent transfers share ``bandwidth`` equally (max-min fair with
+    equal weights).  Each transfer's completion event fires after its bytes
+    have drained plus the one-way propagation ``latency``.
+
+    The link records utilization (time-weighted fraction of capacity in use)
+    and total bytes carried, for hot-spot and saturation reporting.
+    """
+
+    def __init__(self, sim: "Simulator", bandwidth: float,
+                 latency: float = 0.0, name: str = "link") -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.name = name
+        self._flows: list[_Flow] = []
+        self._last_update = sim.now
+        self._timer_gen = count()
+        self._active_timer = -1
+        self.total_bytes = 0.0
+        self.utilization = TimeWeighted(sim)
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._flows)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start moving ``nbytes`` across the link; event fires on delivery."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        done = Event(self.sim)
+        if nbytes == 0:
+            self._deliver(done, self.latency)
+            return done
+        self._advance()
+        self._flows.append(_Flow(nbytes, done))
+        self.utilization.record(1.0)
+        self._reschedule()
+        return done
+
+    def mean_utilization(self) -> float:
+        """Time-weighted average busy fraction since creation."""
+        return self.utilization.mean()
+
+    # -- fluid machinery -------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Drain bytes for the time elapsed since the last state change."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if not self._flows:
+            return
+        share = self.bandwidth / len(self._flows)
+        drained = share * max(elapsed, 0.0)
+        finished: list[_Flow] = []
+        for flow in self._flows:
+            flow.remaining -= drained
+            if flow.remaining <= _EPS_BYTES:
+                finished.append(flow)
+        for flow in finished:
+            self._flows.remove(flow)
+            self.total_bytes += flow.nbytes
+            self._deliver(flow.done, self.latency)
+        if finished and not self._flows:
+            self.utilization.record(0.0)
+
+    def _reschedule(self) -> None:
+        """Plan a wake-up at the earliest projected flow completion."""
+        self._active_timer = next(self._timer_gen)
+        if not self._flows:
+            return
+        my_timer = self._active_timer
+        share = self.bandwidth / len(self._flows)
+        first = min(flow.remaining for flow in self._flows)
+        delay = first / share
+        # Float-error residues can project a finish time below the clock's
+        # representable resolution, which would re-fire the wake-up at the
+        # same instant forever.  Floor the delay a few ulps above `now` so
+        # time always advances; the next _advance sweeps the residue.
+        floor = max(abs(self.sim.now) * 1e-15, 1e-12)
+        if delay < floor:
+            delay = floor
+
+        def wake(_ev: Event) -> None:
+            if my_timer != self._active_timer:
+                return  # superseded by a newer state change
+            self._advance()
+            self._reschedule()
+
+        self.sim.timeout(delay).add_callback(wake)
+
+    def _deliver(self, done: Event, latency: float) -> None:
+        if latency <= 0:
+            done.succeed()
+        else:
+            self.sim.timeout(latency).add_callback(lambda _ev: done.succeed())
+
+
+class FcfsLink:
+    """A store-and-forward link: one transfer occupies it at a time.
+
+    Transfers queue FIFO; each takes ``nbytes / bandwidth`` of link time and
+    then ``latency`` of propagation.  Simpler but pessimistic for concurrent
+    small transfers — kept as an ablation against :class:`FairShareLink`.
+    """
+
+    def __init__(self, sim: "Simulator", bandwidth: float,
+                 latency: float = 0.0, name: str = "link") -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.name = name
+        self._slot = Resource(sim, capacity=1)
+        self.total_bytes = 0.0
+        self.utilization = TimeWeighted(sim)
+
+    @property
+    def active_transfers(self) -> int:
+        return self._slot.in_use + self._slot.queue_length
+
+    def transfer(self, nbytes: float) -> Event:
+        """Queue ``nbytes``; the returned event fires on delivery."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        done = Event(self.sim)
+        self.sim.process(self._run(nbytes, done), name=f"{self.name}.xfer")
+        return done
+
+    def _run(self, nbytes: float, done: Event):
+        req = self._slot.request()
+        yield req
+        self.utilization.record(1.0)
+        try:
+            yield self.sim.timeout(nbytes / self.bandwidth)
+            self.total_bytes += nbytes
+        finally:
+            self._slot.release(req)
+            if self._slot.in_use == 0:
+                self.utilization.record(0.0)
+        if self.latency > 0:
+            yield self.sim.timeout(self.latency)
+        done.succeed()
+
+    def mean_utilization(self) -> float:
+        """Time-weighted average busy fraction since creation."""
+        return self.utilization.mean()

@@ -1,0 +1,119 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator that yields :class:`~repro.sim.events.Event`
+objects; the kernel resumes the generator with the event's value when it
+fires.  Processes are themselves events (their completion), so processes can
+wait on each other, join in barriers, and be interrupted for failure
+injection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` carries caller context (e.g. the failure being injected).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; completes (as an event) when the generator does.
+
+    The process event succeeds with the generator's return value, or fails
+    with any exception the generator raises.
+    """
+
+    __slots__ = ("gen", "_target", "name")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you forget a yield in the process function?")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Event | None = None
+        # Kick off at the current simulation time.
+        init = Event(sim)
+        init.succeed()
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting detaches it from the waited-on event (the event may
+        still fire for other waiters).
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_ev = Event(self.sim)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        self.sim._enqueue(0.0, interrupt_ev, callback=self._resume)
+
+    # -- kernel side ---------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Process finished between scheduling of an interrupt and its
+            # delivery; nothing left to interrupt.
+            return
+        if self._target is not None and event is not self._target:
+            # An interrupt arrived while waiting on _target: detach.
+            self._detach_from_target()
+        self._target = None
+        try:
+            if event.ok:
+                target = self.gen.send(event.value)
+            else:
+                target = self.gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self.callbacks:
+                # Nobody is waiting on this process: surface the crash so
+                # bugs in model code do not vanish silently.
+                self.fail(exc)
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = RuntimeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances")
+            self.gen.close()
+            self.fail(error)
+            raise error
+        self._target = target
+        target.add_callback(self._resume)
+
+    def _detach_from_target(self) -> None:
+        target = self._target
+        if target is None or target.callbacks is None:
+            return
+        try:
+            target.callbacks.remove(self._resume)
+        except ValueError:
+            pass

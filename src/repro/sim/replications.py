@@ -1,0 +1,62 @@
+"""Replication statistics: means and confidence intervals across seeds.
+
+Experiment benches that involve stochastic workloads (failure campaigns,
+Zipf traffic) report means over several seeded replications; this module
+provides the Student-t interval so EXPERIMENTS.md can state uncertainty
+honestly instead of single-run point estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean and confidence half-width over independent replications."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.half_width:.2g} ({self.n} reps)"
+
+
+def summarize(values: Sequence[float],
+              confidence: float = 0.95) -> ReplicationSummary:
+    """Student-t confidence interval over replication outputs."""
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one replication")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return ReplicationSummary(mean, float("inf"), 1, confidence)
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    if sem == 0.0:
+        return ReplicationSummary(mean, 0.0, int(arr.size), confidence)
+    t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, arr.size - 1))
+    return ReplicationSummary(mean, t * sem, int(arr.size), confidence)
+
+
+def replicate(run: Callable[[int], float], seeds: Sequence[int],
+              confidence: float = 0.95) -> ReplicationSummary:
+    """Run ``run(seed)`` for each seed and summarize the outputs."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return summarize([run(seed) for seed in seeds], confidence)

@@ -1,0 +1,226 @@
+"""Metric collectors for simulation output.
+
+All experiment results flow through these collectors so that benches and
+tests read from one vocabulary: tallies (per-observation), time-weighted
+averages (levels like queue depth or utilization), counters, and rate
+meters.  Percentiles come from stored samples (numpy) since run sizes here
+are modest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+
+class Tally:
+    """Streaming mean/variance/min/max of per-event observations.
+
+    Uses Welford's algorithm; optionally keeps raw samples for percentiles.
+    """
+
+    def __init__(self, keep_samples: bool = True) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] | None = [] if keep_samples else None
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    def mean(self) -> float:
+        """Arithmetic mean of recorded observations (0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    def variance(self) -> float:
+        """Sample variance (ddof=1; 0 with fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance())
+
+    def total(self) -> float:
+        """Sum of all recorded observations."""
+        return self._mean * self.count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of recorded samples."""
+        if self._samples is None:
+            raise RuntimeError("Tally was created with keep_samples=False")
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def samples(self) -> np.ndarray:
+        """Raw samples as a numpy array (requires keep_samples=True)."""
+        if self._samples is None:
+            raise RuntimeError("Tally was created with keep_samples=False")
+        return np.asarray(self._samples, dtype=float)
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant level.
+
+    ``record(v)`` declares the level is ``v`` from now on; ``mean()``
+    integrates over elapsed simulated time.
+    """
+
+    def __init__(self, sim: "Simulator", initial: float = 0.0) -> None:
+        self.sim = sim
+        self._level = float(initial)
+        self._last = sim.now
+        self._area = 0.0
+        self._start = sim.now
+        self.max = float(initial)
+
+    @property
+    def level(self) -> float:
+        """The current level."""
+        return self._level
+
+    def record(self, value: float) -> None:
+        """Declare the level to be ``value`` from now on."""
+        now = self.sim.now
+        self._area += self._level * (now - self._last)
+        self._last = now
+        self._level = float(value)
+        if value > self.max:
+            self.max = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the level by ``delta`` (convenience for queue counters)."""
+        self.record(self._level + delta)
+
+    def mean(self) -> float:
+        """Time-weighted average of the level since creation."""
+        now = self.sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        area = self._area + self._level * (now - self._last)
+        return area / elapsed
+
+
+class Counter:
+    """A plain integer counter with a convenience increment API."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        """Increase the counter by ``by``."""
+        self.value += by
+
+
+class RateMeter:
+    """Measures average throughput of a byte stream over simulated time."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._start = sim.now
+        self.total = 0.0
+
+    def record(self, nbytes: float) -> None:
+        """Add ``nbytes`` to the running byte total."""
+        self.total += nbytes
+
+    def rate(self) -> float:
+        """Mean bytes/second since creation (0 if no time has passed)."""
+        elapsed = self.sim.now - self._start
+        return self.total / elapsed if elapsed > 0 else 0.0
+
+
+class Histogram:
+    """Fixed-bin histogram for latency distributions in reports."""
+
+    def __init__(self, edges: list[float]) -> None:
+        if sorted(edges) != list(edges) or len(edges) < 2:
+            raise ValueError("edges must be a sorted list of >= 2 values")
+        self.edges = np.asarray(edges, dtype=float)
+        self.counts = np.zeros(len(edges) + 1, dtype=np.int64)
+
+    def record(self, value: float) -> None:
+        """Drop a value into its bin."""
+        idx = int(np.searchsorted(self.edges, value, side="right"))
+        self.counts[idx] += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Bin label -> count mapping for reports."""
+        out: dict[str, int] = {f"<{self.edges[0]:g}": int(self.counts[0])}
+        for i in range(len(self.edges) - 1):
+            out[f"[{self.edges[i]:g},{self.edges[i + 1]:g})"] = int(self.counts[i + 1])
+        out[f">={self.edges[-1]:g}"] = int(self.counts[-1])
+        return out
+
+
+class MetricSet:
+    """A named registry of collectors so subsystems can publish metrics.
+
+    >>> metrics = MetricSet(sim)
+    >>> metrics.tally("read.latency").record(0.004)
+    >>> metrics.counter("cache.hits").incr()
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._tallies: dict[str, Tally] = {}
+        self._levels: dict[str, TimeWeighted] = {}
+        self._counters: dict[str, Counter] = {}
+        self._rates: dict[str, RateMeter] = {}
+
+    def tally(self, name: str) -> Tally:
+        """The named Tally, created on first use."""
+        if name not in self._tallies:
+            self._tallies[name] = Tally()
+        return self._tallies[name]
+
+    def level(self, name: str) -> TimeWeighted:
+        """The named TimeWeighted level, created on first use."""
+        if name not in self._levels:
+            self._levels[name] = TimeWeighted(self.sim)
+        return self._levels[name]
+
+    def counter(self, name: str) -> Counter:
+        """The named Counter, created on first use."""
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def rate(self, name: str) -> RateMeter:
+        """The named RateMeter, created on first use."""
+        if name not in self._rates:
+            self._rates[name] = RateMeter(self.sim)
+        return self._rates[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten every collector into a name→value report."""
+        out: dict[str, float] = {}
+        for name, t in self._tallies.items():
+            out[f"{name}.mean"] = t.mean()
+            out[f"{name}.count"] = t.count
+        for name, lv in self._levels.items():
+            out[f"{name}.twa"] = lv.mean()
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, r in self._rates.items():
+            out[f"{name}.bytes_per_s"] = r.rate()
+        return out

@@ -1,0 +1,163 @@
+"""Physical page allocation over heterogeneous storage pools.
+
+The virtualization layer (§3) divides physical storage into fixed
+*pages* (allocation units) handed out on demand.  Pools carry a tier tag
+("fc", "legacy", …) so a virtual volume "may consist of storage space in
+different storage subsystems, each with different characteristics", and
+legacy arrays can be absorbed into the same free pool (§1).
+
+Pages are reference-counted so copy-on-write snapshots (§7.2) can share
+them; a page returns to the free list when its last reference drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AllocationError(Exception):
+    """The pool set cannot satisfy an allocation."""
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """A physical page: which pool, which page index within it."""
+
+    pool: str
+    page: int
+
+
+class StoragePool:
+    """One backing pool of equal-sized pages with a free list."""
+
+    def __init__(self, name: str, capacity_bytes: int, page_size: int,
+                 tier: str = "fc") -> None:
+        if capacity_bytes < page_size:
+            raise ValueError(
+                f"pool {name!r}: capacity {capacity_bytes} smaller than one "
+                f"page ({page_size})")
+        if page_size <= 0:
+            raise ValueError(f"page_size must be > 0, got {page_size}")
+        self.name = name
+        self.page_size = page_size
+        self.total_pages = capacity_bytes // page_size
+        self.tier = tier
+        self._free: list[int] = list(range(self.total_pages - 1, -1, -1))
+        self._allocated: set[int] = set()
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_pages(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_pages * self.page_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+    def allocate(self) -> int:
+        """Hand out one free page (LIFO for locality); AllocationError when full."""
+        if not self._free:
+            raise AllocationError(f"pool {self.name!r} is full")
+        page = self._free.pop()
+        self._allocated.add(page)
+        return page
+
+    def free(self, page: int) -> None:
+        """Return a page to the free list; double frees are rejected."""
+        if page not in self._allocated:
+            raise ValueError(f"pool {self.name!r}: page {page} not allocated")
+        self._allocated.discard(page)
+        self._free.append(page)
+
+
+class Allocator:
+    """Multi-pool allocator with reference counting for COW sharing.
+
+    Allocation policy: most-free-pages-first among pools matching the
+    requested tier (or all pools when no tier is given) — the simple
+    "amortize slack across the pool" behaviour the DMSD section argues for.
+    """
+
+    def __init__(self, pools: list[StoragePool]) -> None:
+        if not pools:
+            raise ValueError("allocator needs at least one pool")
+        sizes = {p.page_size for p in pools}
+        if len(sizes) != 1:
+            raise ValueError("all pools must share one page size")
+        names = [p.name for p in pools]
+        if len(set(names)) != len(names):
+            raise ValueError("pool names must be unique")
+        self.pools = {p.name: p for p in pools}
+        self.page_size = pools[0].page_size
+        self._refcounts: dict[PageRef, int] = {}
+
+    def add_pool(self, pool: StoragePool) -> None:
+        """Integrate another (e.g. legacy) pool into the aggregate."""
+        if pool.page_size != self.page_size:
+            raise ValueError("pool page size mismatch")
+        if pool.name in self.pools:
+            raise ValueError(f"pool {pool.name!r} already present")
+        self.pools[pool.name] = pool
+
+    # -- capacity -----------------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(p.free_pages for p in self.pools.values()) * self.page_size
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(p.used_bytes for p in self.pools.values())
+
+    @property
+    def capacity_bytes(self) -> int:
+        return sum(p.capacity_bytes for p in self.pools.values())
+
+    # -- page lifecycle -------------------------------------------------------------
+
+    def allocate(self, tier: str | None = None) -> PageRef:
+        """Allocate a page from the most-free pool matching ``tier``."""
+        candidates = [p for p in self.pools.values()
+                      if tier is None or p.tier == tier]
+        if not candidates:
+            raise AllocationError(f"no pool of tier {tier!r}")
+        candidates.sort(key=lambda p: (-p.free_pages, p.name))
+        best = candidates[0]
+        if best.free_pages == 0:
+            raise AllocationError(
+                f"out of space (tier={tier!r}): every matching pool is full")
+        ref = PageRef(best.name, best.allocate())
+        self._refcounts[ref] = 1
+        return ref
+
+    def incref(self, ref: PageRef) -> None:
+        """Add one reference to a live page (snapshot sharing)."""
+        if ref not in self._refcounts:
+            raise ValueError(f"{ref} is not a live page")
+        self._refcounts[ref] += 1
+
+    def decref(self, ref: PageRef) -> None:
+        """Drop one reference; the page frees when the count reaches zero."""
+        count = self._refcounts.get(ref)
+        if count is None:
+            raise ValueError(f"{ref} is not a live page")
+        if count == 1:
+            del self._refcounts[ref]
+            self.pools[ref.pool].free(ref.page)
+        else:
+            self._refcounts[ref] = count - 1
+
+    def refcount(self, ref: PageRef) -> int:
+        """Current reference count of a page (0 if not live)."""
+        return self._refcounts.get(ref, 0)
+
+    def live_pages(self) -> int:
+        """Number of distinct pages with at least one reference."""
+        return len(self._refcounts)

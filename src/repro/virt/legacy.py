@@ -1,0 +1,50 @@
+"""Integrating legacy storage systems into the aggregate pool (§1).
+
+"Integrate and manage existing legacy storage systems as part of the
+aggregate storage pool."  A legacy array is absorbed as just another
+:class:`~repro.virt.allocator.StoragePool`, tier-tagged ``legacy`` and
+carrying its own (slower) performance profile, so the allocator can place
+low-priority data on it while the virtualization layer hides the seam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .allocator import Allocator, StoragePool
+
+
+@dataclass(frozen=True)
+class LegacyProfile:
+    """Performance character of a legacy array, for the timing layer."""
+
+    read_latency: float = 0.012      # older spindles, shallower cache
+    write_latency: float = 0.015
+    bandwidth: float = 80e6          # aggregate MB/s of the old box
+
+
+class LegacyArray(StoragePool):
+    """An existing third-party array re-exported through virtualization."""
+
+    def __init__(self, name: str, capacity_bytes: int, page_size: int,
+                 vendor: str = "legacy", profile: LegacyProfile | None = None) -> None:
+        super().__init__(name, capacity_bytes, page_size, tier="legacy")
+        self.vendor = vendor
+        self.profile = profile or LegacyProfile()
+
+
+def absorb_legacy_array(allocator: Allocator, array: LegacyArray) -> None:
+    """Add a legacy array to the pool; data placement can now span it."""
+    allocator.add_pool(array)
+
+
+def evacuate_pool(allocator: Allocator, pool_name: str) -> int:
+    """Decommissioning check: a pool can only leave the aggregate when no
+    live pages reference it.  Returns the count of blocking pages."""
+    pool = allocator.pools.get(pool_name)
+    if pool is None:
+        raise ValueError(f"unknown pool {pool_name!r}")
+    blocking = pool.used_pages
+    if blocking == 0:
+        del allocator.pools[pool_name]
+    return blocking

@@ -1,0 +1,104 @@
+"""Virtual volumes: the traditional, fully-mapped ("thick") kind.
+
+A thick volume allocates every page at creation — exactly the model the
+paper contrasts DMSDs against: fixed partition sizes, per-volume slack,
+and administrator-driven resizes.  Resize operations are counted so the
+E5 experiment can report the administration load the DMSD removes.
+"""
+
+from __future__ import annotations
+
+from .allocator import Allocator, PageRef
+
+
+class VolumeError(Exception):
+    """Addressing or lifecycle misuse of a virtual volume."""
+
+
+class VirtualVolume:
+    """A contiguous virtual block device, fully provisioned up front."""
+
+    def __init__(self, name: str, size_bytes: int, allocator: Allocator,
+                 tier: str | None = None, owner: str = "") -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"size must be > 0, got {size_bytes}")
+        self.name = name
+        self.allocator = allocator
+        self.tier = tier
+        self.owner = owner
+        self.page_size = allocator.page_size
+        self._pages: list[PageRef] = []
+        self.resize_operations = 0
+        self.deleted = False
+        self._grow_to(size_bytes)
+        self.resize_operations = 0  # creation itself is not a resize
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._pages) * self.page_size
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Thick volumes consume their full size regardless of use."""
+        return self.size_bytes
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def resize(self, new_size: int) -> None:
+        """Grow or shrink; an administrator-visible operation."""
+        self._check_live()
+        if new_size <= 0:
+            raise ValueError(f"new size must be > 0, got {new_size}")
+        self.resize_operations += 1
+        if new_size > self.size_bytes:
+            self._grow_to(new_size)
+        else:
+            keep = -(-new_size // self.page_size)  # ceil division
+            for ref in self._pages[keep:]:
+                self.allocator.decref(ref)
+            del self._pages[keep:]
+
+    def delete(self) -> None:
+        """Release every page; further access raises VolumeError."""
+        self._check_live()
+        for ref in self._pages:
+            self.allocator.decref(ref)
+        self._pages.clear()
+        self.deleted = True
+
+    def _grow_to(self, size_bytes: int) -> None:
+        needed = -(-size_bytes // self.page_size)
+        while len(self._pages) < needed:
+            self._pages.append(self.allocator.allocate(self.tier))
+
+    def _check_live(self) -> None:
+        if self.deleted:
+            raise VolumeError(f"volume {self.name!r} was deleted")
+
+    # -- address translation ------------------------------------------------------------
+
+    def translate(self, offset: int) -> tuple[PageRef, int]:
+        """Virtual byte offset → (physical page, offset within page)."""
+        self._check_live()
+        if not 0 <= offset < self.size_bytes:
+            raise VolumeError(
+                f"offset {offset} outside volume of {self.size_bytes} bytes")
+        page_index, intra = divmod(offset, self.page_size)
+        return self._pages[page_index], intra
+
+    def pages_for_range(self, offset: int, nbytes: int) \
+            -> list[tuple[PageRef, int, int]]:
+        """Split a range into (page, intra_offset, length) pieces."""
+        self._check_live()
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size_bytes:
+            raise VolumeError(
+                f"range [{offset}, {offset + nbytes}) outside volume")
+        pieces: list[tuple[PageRef, int, int]] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            idx, intra = divmod(pos, self.page_size)
+            take = min(self.page_size - intra, end - pos)
+            pieces.append((self._pages[idx], intra, take))
+            pos += take
+        return pieces

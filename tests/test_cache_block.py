@@ -1,0 +1,129 @@
+"""Unit + property tests for the per-blade block cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import BlockCache, BlockState, CapacityError
+
+
+def test_insert_and_lookup():
+    cache = BlockCache(4)
+    cache.insert("a")
+    assert "a" in cache
+    assert cache.lookup("a") is not None
+    assert cache.lookup("b") is None
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_ratio() == 0.5
+
+
+def test_lru_eviction_order():
+    cache = BlockCache(2)
+    cache.insert("a")
+    cache.insert("b")
+    cache.lookup("a")  # refresh a
+    cache.insert("c")  # evicts b (LRU)
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.evictions == 1
+
+
+def test_priority_buckets_evict_low_first():
+    cache = BlockCache(3)
+    cache.insert("low1", priority=0)
+    cache.insert("high", priority=5)
+    cache.insert("low2", priority=0)
+    cache.insert("new", priority=0)  # must evict low1, not high
+    assert "high" in cache
+    assert "low1" not in cache
+
+
+def test_high_priority_survives_scan():
+    """A burst of low-priority blocks cannot flush a pinned-priority file."""
+    cache = BlockCache(10)
+    for i in range(3):
+        cache.insert(("hot", i), priority=9)
+    for i in range(50):
+        cache.insert(("scan", i), priority=0)
+    for i in range(3):
+        assert ("hot", i) in cache
+
+
+def test_dirty_blocks_not_evictable():
+    cache = BlockCache(2)
+    cache.insert("d1", BlockState.MODIFIED)
+    cache.insert("d2", BlockState.REPLICA)
+    with pytest.raises(CapacityError):
+        cache.insert("c")
+    assert cache.pinned_count == 2
+
+
+def test_clean_releases_pin():
+    cache = BlockCache(2)
+    cache.insert("d1", BlockState.MODIFIED)
+    cache.clean("d1")
+    entry = cache.entry("d1")
+    assert entry.state is BlockState.SHARED
+    assert not entry.locked
+    cache.insert("x")
+    cache.insert("y")  # now evictable: no error
+    assert len(cache) == 2
+
+
+def test_clean_missing_key_is_noop():
+    cache = BlockCache(2)
+    cache.clean("ghost")  # no error
+
+
+def test_drop_and_drop_all():
+    cache = BlockCache(4)
+    cache.insert("a")
+    cache.insert("b", BlockState.MODIFIED)
+    cache.drop("a")
+    assert "a" not in cache
+    cache.drop_all()
+    assert len(cache) == 0
+
+
+def test_reinsert_changes_state():
+    cache = BlockCache(4)
+    cache.insert("a", BlockState.SHARED)
+    cache.insert("a", BlockState.MODIFIED)
+    assert cache.entry("a").state is BlockState.MODIFIED
+    assert len(cache) == 1
+
+
+def test_dirty_keys_listing():
+    cache = BlockCache(4)
+    cache.insert("a", BlockState.SHARED)
+    cache.insert("b", BlockState.MODIFIED)
+    cache.insert("c", BlockState.MODIFIED)
+    assert sorted(cache.dirty_keys()) == ["b", "c"]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BlockCache(0)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 2)), max_size=200),
+       st.integers(2, 8))
+def test_property_never_exceeds_capacity(ops, capacity):
+    """Whatever the access pattern, occupancy <= capacity and all
+    non-evicted entries are found."""
+    cache = BlockCache(capacity)
+    for key, prio in ops:
+        cache.insert(key, priority=prio)
+        assert len(cache) <= capacity
+        assert key in cache  # most-recent insert always resident
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=100))
+def test_property_hit_plus_miss_equals_lookups(keys):
+    cache = BlockCache(4)
+    for k in keys:
+        if cache.lookup(k) is None:
+            cache.insert(k)
+    assert cache.hits + cache.misses == len(keys)

@@ -1,0 +1,129 @@
+"""Unit tests for the coherence directory protocol."""
+
+
+from repro.cache import Directory
+
+
+def test_first_shared_acquire_has_no_actions():
+    d = Directory()
+    actions = d.acquire_shared(0, "k")
+    assert actions.fetch_from is None
+    assert actions.invalidate == ()
+    assert d.holders("k") == {0}
+
+
+def test_second_reader_fetches_from_first():
+    d = Directory()
+    d.acquire_shared(0, "k")
+    actions = d.acquire_shared(1, "k")
+    assert actions.fetch_from == 0
+    assert d.holders("k") == {0, 1}
+    assert d.remote_fetches == 1
+
+
+def test_read_of_dirty_block_fetches_from_owner():
+    d = Directory()
+    d.acquire_exclusive(2, "k")
+    actions = d.acquire_shared(0, "k")
+    assert actions.fetch_from == 2
+    assert actions.writeback_from == 2
+    assert d.entry("k").dirty  # still dirty until destaged
+
+
+def test_exclusive_invalidates_all_sharers():
+    d = Directory()
+    for blade in (0, 1, 2):
+        d.acquire_shared(blade, "k")
+    actions = d.acquire_exclusive(3, "k")
+    assert set(actions.invalidate) == {0, 1, 2}
+    assert d.invalidations_sent == 3
+    entry = d.entry("k")
+    assert entry.owner == 3
+    assert entry.sharers == set()
+    assert entry.dirty
+
+
+def test_exclusive_over_dirty_owner_transfers():
+    d = Directory()
+    d.acquire_exclusive(0, "k")
+    actions = d.acquire_exclusive(1, "k")
+    assert actions.fetch_from == 0
+    assert 0 in actions.invalidate
+    assert d.entry("k").owner == 1
+
+
+def test_exclusive_by_current_owner_is_cheap():
+    d = Directory()
+    d.acquire_exclusive(0, "k")
+    actions = d.acquire_exclusive(0, "k")
+    assert actions.invalidate == ()
+    assert actions.fetch_from is None
+
+
+def test_replicas_registered_and_released_on_destage():
+    d = Directory()
+    d.acquire_exclusive(0, "k")
+    d.register_replicas("k", {1, 2})
+    assert d.holders("k") == {0, 1, 2}
+    released = d.destaged("k")
+    assert released == {0, 1, 2}
+    entry = d.entry("k")
+    assert not entry.dirty
+    assert entry.owner is None
+    assert entry.sharers == {0, 1, 2}
+
+
+def test_destage_unknown_key():
+    d = Directory()
+    assert d.destaged("ghost") == set()
+
+
+def test_eviction_removes_holder_and_garbage_collects():
+    d = Directory()
+    d.acquire_shared(0, "k")
+    d.acquire_shared(1, "k")
+    d.evicted(0, "k")
+    assert d.holders("k") == {1}
+    d.evicted(1, "k")
+    assert d.entry("k") is None
+    assert len(d) == 0
+
+
+def test_blade_failure_salvages_replicated_dirty_blocks():
+    d = Directory()
+    d.acquire_exclusive(0, "k")
+    d.register_replicas("k", {1})
+    salvaged, lost = d.blade_failed(0)
+    assert salvaged == ["k"]
+    assert lost == []
+    entry = d.entry("k")
+    assert entry.owner == 1  # replica promoted
+    assert entry.dirty
+
+
+def test_blade_failure_loses_unreplicated_dirty_blocks():
+    d = Directory()
+    d.acquire_exclusive(0, "k")  # no replicas
+    salvaged, lost = d.blade_failed(0)
+    assert salvaged == []
+    assert lost == ["k"]
+
+
+def test_blade_failure_with_two_replicas_survives_two_deaths():
+    d = Directory()
+    d.acquire_exclusive(0, "k")
+    d.register_replicas("k", {1, 2})
+    _, lost0 = d.blade_failed(0)
+    _, lost1 = d.blade_failed(1)
+    assert lost0 == lost1 == []
+    assert d.entry("k").owner == 2
+    _, lost2 = d.blade_failed(2)
+    assert lost2 == ["k"]
+
+
+def test_blade_failure_cleans_clean_copies_silently():
+    d = Directory()
+    d.acquire_shared(0, "k")
+    salvaged, lost = d.blade_failed(0)
+    assert salvaged == [] and lost == []
+    assert d.entry("k") is None

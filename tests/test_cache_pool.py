@@ -1,0 +1,267 @@
+"""Integration tests for the pooled coherent cache cluster."""
+
+import pytest
+
+from repro.cache import CacheCluster, ReplicationError
+from repro.hardware import ControllerBlade
+from repro.sim import Simulator
+from repro.sim.units import mib
+
+BLOCK = 64 * 1024
+
+
+def make_cluster(sim, n_blades=4, replication=2, cache_bytes=mib(1),
+                 disk_latency=0.008):
+    blades = [ControllerBlade(sim, i, cache_bytes=cache_bytes)
+              for i in range(n_blades)]
+
+    def backing_read(key, nbytes):
+        return sim.timeout(disk_latency)
+
+    def backing_write(key, nbytes):
+        return sim.timeout(disk_latency)
+
+    return CacheCluster(sim, blades, backing_read, backing_write,
+                        block_size=BLOCK, replication=replication)
+
+
+def test_read_miss_then_local_hit():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+
+    def proc():
+        first = yield cluster.read(0, ("v", 0))
+        second = yield cluster.read(0, ("v", 0))
+        return (first, second)
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == ("disk", "local")
+    assert cluster.metrics.counter("read.miss").value == 1
+    assert cluster.metrics.counter("read.local_hit").value == 1
+
+
+def test_remote_hit_from_peer_cache():
+    """The pooled-cache claim: blade 1 finds blade 0's copy instead of
+    going to disk, and a peer transfer is much faster than a disk read."""
+    sim = Simulator()
+    cluster = make_cluster(sim, disk_latency=0.008)
+    timing = {}
+
+    def proc():
+        t0 = sim.now
+        yield cluster.read(0, ("v", 7))
+        timing["miss"] = sim.now - t0
+        t0 = sim.now
+        source = yield cluster.read(1, ("v", 7))
+        timing["remote"] = sim.now - t0
+        return source
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "remote"
+    assert timing["remote"] < timing["miss"] / 5
+
+
+def test_write_places_replicas():
+    sim = Simulator()
+    cluster = make_cluster(sim, replication=3)
+
+    def proc():
+        yield cluster.write(0, ("v", 1))
+
+    sim.process(proc())
+    sim.run()
+    assert cluster.metrics.counter("write.replicas_placed").value == 2
+    holders = cluster.directory.holders(("v", 1))
+    assert 0 in holders and len(holders) == 3
+
+
+def test_write_replication_1_has_no_replicas():
+    sim = Simulator()
+    cluster = make_cluster(sim, replication=1)
+
+    def proc():
+        yield cluster.write(0, ("v", 1))
+
+    sim.process(proc())
+    sim.run()
+    assert cluster.directory.holders(("v", 1)) == {0}
+
+
+def test_write_then_read_other_blade_coheres():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+
+    def proc():
+        yield cluster.write(0, ("v", 2))
+        # Read from a blade that holds neither the dirty copy nor a replica.
+        holders = cluster.directory.holders(("v", 2))
+        reader = next(b for b in (3, 2, 1) if b not in holders)
+        src = yield cluster.read(reader, ("v", 2))
+        return src
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "remote"  # fetched from the dirty owner, not disk
+
+
+def test_write_invalidates_sharers():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+
+    def proc():
+        yield cluster.read(1, ("v", 3))   # blade 1 gets a shared copy
+        yield cluster.read(2, ("v", 3))
+        yield cluster.write(0, ("v", 3))  # must invalidate blades 1, 2
+
+    sim.process(proc())
+    sim.run()
+    assert cluster.metrics.counter("coherence.invalidations").value == 2
+    # The shared copies were dropped; any residual copy on blades 1/2 is a
+    # freshly placed REPLICA of the new dirty data, not a stale sharer.
+    from repro.cache import BlockState
+    for blade in (1, 2):
+        entry = cluster.caches[blade].entry(("v", 3))
+        assert entry is None or entry.state is BlockState.REPLICA
+    assert cluster.directory.entry(("v", 3)).sharers == set()
+
+
+def test_destage_releases_pins():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+
+    def proc():
+        yield cluster.write(0, ("v", 4))
+        assert cluster.caches[0].entry(("v", 4)).locked
+        result = yield cluster.destage(("v", 4))
+        return result
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value is True
+    assert not cluster.caches[0].entry(("v", 4)).locked
+    entry = cluster.directory.entry(("v", 4))
+    assert not entry.dirty
+
+
+def test_destage_clean_block_is_noop():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+
+    def proc():
+        result = yield cluster.destage(("v", 99))
+        return result
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value is False
+
+
+def test_background_destager_drains_dirty():
+    sim = Simulator()
+    cluster = make_cluster(sim)
+    cluster.start_destager()
+
+    def proc():
+        for i in range(8):
+            yield cluster.write(0, ("v", i))
+
+    sim.process(proc())
+    sim.run(until=2.0)
+    assert cluster.metrics.counter("destage.completed").value == 8
+    assert not cluster._dirty_queue.items
+    assert not cluster._dirty_pending
+
+
+def test_blade_failure_with_replication_preserves_dirty_data():
+    sim = Simulator()
+    cluster = make_cluster(sim, replication=2)
+
+    def proc():
+        yield cluster.write(0, ("v", 5))
+        cluster.blades[0].fail()
+        salvaged, lost = cluster.on_blade_fail(0)
+        assert (salvaged, lost) == (1, 0)
+        # The promoted replica can still be destaged.
+        result = yield cluster.destage(("v", 5))
+        return result
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value is True
+    assert cluster.lost_dirty_blocks == []
+
+
+def test_blade_failure_without_replication_loses_dirty_data():
+    sim = Simulator()
+    cluster = make_cluster(sim, replication=1)
+
+    def proc():
+        yield cluster.write(0, ("v", 6))
+        cluster.blades[0].fail()
+        salvaged, lost = cluster.on_blade_fail(0)
+        return (salvaged, lost)
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (0, 1)
+    assert cluster.lost_dirty_blocks == [("v", 6)]
+
+
+def test_nway_survives_n_minus_1_failures():
+    """§6.1: N-way replication allows N−1 failures without data loss."""
+    sim = Simulator()
+    cluster = make_cluster(sim, n_blades=5, replication=3)
+
+    def proc():
+        yield cluster.write(0, ("v", 7))
+        for victim in (0, 1, 2):
+            # Kill whoever currently owns/replicates, worst case.
+            holders = sorted(cluster.directory.holders(("v", 7)))
+            if not holders:
+                break
+            target = holders[0]
+            cluster.blades[target].fail()
+            cluster.on_blade_fail(target)
+        return len(cluster.lost_dirty_blocks)
+
+    p = sim.process(proc())
+    sim.run()
+    # 3 copies, 3 kills: the third kill finally loses it — but only then.
+    assert p.value == 1
+    assert cluster.metrics.counter("failure.salvaged").value == 2
+
+
+def test_replication_fails_without_enough_blades():
+    sim = Simulator()
+    cluster = make_cluster(sim, n_blades=2, replication=3)
+    failed = []
+
+    def proc():
+        try:
+            yield cluster.write(0, ("v", 8))
+        except ReplicationError:
+            failed.append(True)
+
+    sim.process(proc())
+    sim.run()
+    assert failed == [True]
+
+
+def test_pooled_capacity_grows_with_blades():
+    sim = Simulator()
+    c4 = make_cluster(sim, n_blades=4)
+    c8 = make_cluster(sim, n_blades=8)
+    assert c8.total_cache_blocks() == 2 * c4.total_cache_blocks()
+
+
+def test_cluster_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CacheCluster(sim, [], lambda k, n: sim.timeout(0),
+                     lambda k, n: sim.timeout(0))
+    blade = ControllerBlade(sim, 0)
+    with pytest.raises(ValueError):
+        CacheCluster(sim, [blade], lambda k, n: sim.timeout(0),
+                     lambda k, n: sim.timeout(0), replication=0)

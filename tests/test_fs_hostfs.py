@@ -1,0 +1,170 @@
+"""Unit tests for the host-side GFS-style shared file system and its DLM."""
+
+import pytest
+
+from repro.fs import DistributedLockManager, HostSharedFileSystem, LockMode
+from repro.sim import Simulator
+
+
+def make_dlm(sim, **kw):
+    return DistributedLockManager(sim, message_rtt=0.001, **kw)
+
+
+class TestDlm:
+    def test_first_acquire_costs_a_round_trip(self):
+        sim = Simulator()
+        dlm = make_dlm(sim)
+
+        def proc():
+            t0 = sim.now
+            yield dlm.acquire("h1", "ino1", LockMode.SHARED)
+            return sim.now - t0
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(0.001)
+        assert dlm.lock_messages == 1
+
+    def test_cached_reacquire_is_free(self):
+        sim = Simulator()
+        dlm = make_dlm(sim)
+
+        def proc():
+            yield dlm.acquire("h1", "ino1", LockMode.EXCLUSIVE)
+            t0 = sim.now
+            yield dlm.acquire("h1", "ino1", LockMode.EXCLUSIVE)
+            yield dlm.acquire("h1", "ino1", LockMode.SHARED)  # downgrade ok
+            return sim.now - t0
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+        assert dlm.cache_hits == 2
+
+    def test_concurrent_shared_grants_coexist(self):
+        sim = Simulator()
+        dlm = make_dlm(sim)
+
+        def reader(host):
+            yield dlm.acquire(host, "ino1", LockMode.SHARED)
+
+        sim.process(reader("h1"))
+        sim.process(reader("h2"))
+        sim.run()
+        assert dlm.holder_count("ino1") == 2
+        assert dlm.revocations == 0
+
+    def test_exclusive_revokes_cached_holders(self):
+        sim = Simulator()
+        dlm = make_dlm(sim)
+
+        def scenario():
+            yield dlm.acquire("h1", "ino1", LockMode.SHARED)
+            yield dlm.acquire("h2", "ino1", LockMode.SHARED)
+            yield dlm.acquire("h3", "ino1", LockMode.EXCLUSIVE)
+
+        p = sim.process(scenario())
+        sim.run(until=p)
+        assert dlm.revocations == 2
+        assert dlm.holder_count("ino1") == 1
+
+    def test_flush_time_charged_on_revoke(self):
+        sim = Simulator()
+        dlm = DistributedLockManager(sim, message_rtt=0.001,
+                                     flush_time=lambda h, r: 0.05)
+
+        def scenario():
+            yield dlm.acquire("h1", "ino1", LockMode.EXCLUSIVE)
+            t0 = sim.now
+            yield dlm.acquire("h2", "ino1", LockMode.EXCLUSIVE)
+            return sim.now - t0
+
+        p = sim.process(scenario())
+        sim.run()
+        # request RTT + revoke RTT + dirty flush
+        assert p.value >= 0.001 + 0.001 + 0.05
+
+    def test_voluntary_release(self):
+        sim = Simulator()
+        dlm = make_dlm(sim)
+
+        def proc():
+            yield dlm.acquire("h1", "ino1", LockMode.EXCLUSIVE)
+
+        sim.process(proc())
+        sim.run()
+        dlm.release("h1", "ino1")
+        assert dlm.holder_count("ino1") == 0
+
+
+class TestHostSharedFs:
+    def make_fs(self, sim):
+        return HostSharedFileSystem(
+            sim,
+            device_read=lambda n: sim.timeout(0.002),
+            device_write=lambda n: sim.timeout(0.003),
+            message_rtt=0.001, dirty_flush_time=0.01)
+
+    def test_single_host_repeat_access_is_lock_cached(self):
+        sim = Simulator()
+        fs = self.make_fs(sim)
+
+        def proc():
+            yield fs.write("h1", "/f")
+            t0 = sim.now
+            yield fs.write("h1", "/f")  # cached grant: no DLM trip
+            return sim.now - t0
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(0.003)
+        assert fs.dlm.cache_hits == 1
+
+    def test_cross_host_write_ping_pong_costs_revokes(self):
+        sim = Simulator()
+        fs = self.make_fs(sim)
+
+        def scenario():
+            single_host_start = sim.now
+            for _ in range(4):
+                yield fs.write("h1", "/f")
+            single = sim.now - single_host_start
+            ping_pong_start = sim.now
+            for i in range(4):
+                yield fs.write(f"h{i % 2 + 1}", "/g")
+            ping_pong = sim.now - ping_pong_start
+            return single, ping_pong
+
+        p = sim.process(scenario())
+        sim.run()
+        single, ping_pong = p.value
+        assert ping_pong > 2 * single  # revoke + flush on every alternation
+        assert fs.dlm.revocations >= 3
+
+    def test_shared_readers_scale_without_revocation(self):
+        sim = Simulator()
+        fs = self.make_fs(sim)
+
+        def reader(host):
+            for _ in range(3):
+                yield fs.read(host, "/data")
+
+        for h in ("h1", "h2", "h3"):
+            sim.process(reader(h))
+        sim.run()
+        assert fs.dlm.revocations == 0
+        assert fs.reads == 9
+
+    def test_read_after_foreign_write_flushes_dirty(self):
+        sim = Simulator()
+        fs = self.make_fs(sim)
+
+        def scenario():
+            yield fs.write("h1", "/f")
+            t0 = sim.now
+            yield fs.read("h2", "/f")  # must revoke h1 + flush its data
+            return sim.now - t0
+
+        p = sim.process(scenario())
+        sim.run()
+        assert p.value >= 0.001 + 0.001 + 0.01 + 0.002

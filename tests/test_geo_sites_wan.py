@@ -1,0 +1,151 @@
+"""Unit tests for sites and the WAN network."""
+
+import pytest
+
+from repro.geo import NoRouteError, Site, SiteFailedError, WanNetwork
+from repro.sim import Simulator
+from repro.sim.units import gbps, mb_per_s
+
+
+def three_site_ring(sim):
+    """Edmonton / Seattle / Boulder, roughly the paper's company map."""
+    net = WanNetwork(sim)
+    a = net.add_site(Site(sim, "edmonton", (0.0, 0.0)))
+    b = net.add_site(Site(sim, "seattle", (0.0, 1000.0)))
+    c = net.add_site(Site(sim, "boulder", (1400.0, 600.0)))
+    net.connect(a, b, bandwidth=gbps(2.5))
+    net.connect(b, c, bandwidth=gbps(2.5))
+    net.connect(a, c, bandwidth=gbps(1.0))
+    return net, a, b, c
+
+
+class TestSite:
+    def test_local_io_cost(self):
+        sim = Simulator()
+        site = Site(sim, "s", storage_bandwidth=mb_per_s(100),
+                    storage_latency=0.004)
+
+        def proc():
+            yield site.store_write(10**8)  # 1s of transfer
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(1.004)
+        assert site.bytes_written == 10**8
+
+    def test_failed_site_rejects_io(self):
+        sim = Simulator()
+        site = Site(sim, "s")
+        site.fail()
+        caught = []
+
+        def proc():
+            try:
+                yield site.store_read(1000)
+            except SiteFailedError:
+                caught.append(True)
+
+        sim.process(proc())
+        sim.run()
+        assert caught == [True]
+        site.repair()
+        assert not site.failed
+
+    def test_distance(self):
+        sim = Simulator()
+        a = Site(sim, "a", (0.0, 0.0))
+        b = Site(sim, "b", (300.0, 400.0))
+        assert a.distance_to(b) == pytest.approx(500.0)
+
+
+class TestWanNetwork:
+    def test_direct_route(self):
+        sim = Simulator()
+        net, a, b, _c = three_site_ring(sim)
+        links = net.route(a, b)
+        assert len(links) == 1
+        assert links[0].distance_km == pytest.approx(1000.0)
+
+    def test_rtt_scales_with_distance(self):
+        sim = Simulator()
+        net, a, b, c = three_site_ring(sim)
+        assert net.rtt(a, c) > net.rtt(a, b)
+        # 1000 km one-way ≈ 5ms propagation + equipment.
+        assert net.rtt(a, b) == pytest.approx(2 * (1000 / 200_000 + 0.0002))
+
+    def test_transfer_time(self):
+        sim = Simulator()
+        net, a, b, _c = three_site_ring(sim)
+
+        def proc():
+            yield net.transfer(a, b, gbps(2.5) * 2.0)  # 2s of link time
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(2.0, rel=0.02)
+
+    def test_routing_around_failed_site(self):
+        sim = Simulator()
+        net, a, b, c = three_site_ring(sim)
+        # Kill the direct a-c fibre's cheaper alternative: fail b.
+        b.fail()
+        links = net.route(a, c)
+        assert len(links) == 1  # direct a<->c still works
+        assert {links[0].a.name, links[0].b.name} == {"edmonton", "boulder"}
+
+    def test_multihop_route_when_direct_missing(self):
+        sim = Simulator()
+        net = WanNetwork(sim)
+        a = net.add_site(Site(sim, "a", (0, 0)))
+        b = net.add_site(Site(sim, "b", (0, 500)))
+        c = net.add_site(Site(sim, "c", (0, 1000)))
+        net.connect(a, b)
+        net.connect(b, c)
+        assert len(net.route(a, c)) == 2
+
+    def test_no_route_when_cut(self):
+        sim = Simulator()
+        net = WanNetwork(sim)
+        a = net.add_site(Site(sim, "a", (0, 0)))
+        b = net.add_site(Site(sim, "b", (0, 500)))
+        c = net.add_site(Site(sim, "c", (0, 1000)))
+        net.connect(a, b)
+        net.connect(b, c)
+        b.fail()
+        with pytest.raises(NoRouteError):
+            net.route(a, c)
+
+    def test_failed_endpoint_rejected(self):
+        sim = Simulator()
+        net, a, b, _c = three_site_ring(sim)
+        a.fail()
+        with pytest.raises(NoRouteError):
+            net.route(a, b)
+
+    def test_duplicate_site_rejected(self):
+        sim = Simulator()
+        net = WanNetwork(sim)
+        net.add_site(Site(sim, "a"))
+        with pytest.raises(ValueError):
+            net.add_site(Site(sim, "a"))
+
+    def test_connect_requires_membership(self):
+        sim = Simulator()
+        net = WanNetwork(sim)
+        a = net.add_site(Site(sim, "a"))
+        stranger = Site(sim, "x")
+        with pytest.raises(ValueError):
+            net.connect(a, stranger)
+
+    def test_neighbors_by_distance_with_floor(self):
+        sim = Simulator()
+        net, a, b, c = three_site_ring(sim)
+        near_first = net.neighbors_by_distance(a)
+        assert [s.name for s in near_first] == ["seattle", "boulder"]
+        far_only = net.neighbors_by_distance(a, min_distance_km=1200.0)
+        assert [s.name for s in far_only] == ["boulder"]
+        b.fail()
+        assert all(s.name != "seattle"
+                   for s in net.neighbors_by_distance(a))

@@ -1,0 +1,122 @@
+"""Unit tests for snapshot-delta shipping replication."""
+
+import pytest
+
+from repro.geo import (
+    Site,
+    SnapshotShippingReplicator,
+    WanNetwork,
+    snapshot_delta_pages,
+)
+from repro.sim import Simulator
+from repro.sim.units import gbps, mib
+from repro.virt import Allocator, DemandMappedDevice, StoragePool, take_snapshot
+
+PAGE = mib(1)
+
+
+def make_env(sim, period=60.0):
+    net = WanNetwork(sim)
+    a = net.add_site(Site(sim, "a", (0.0, 0.0)))
+    b = net.add_site(Site(sim, "b", (0.0, 800.0)))
+    net.connect(a, b, bandwidth=gbps(2.5))
+    alloc = Allocator([StoragePool("p", 4096 * PAGE, PAGE)])
+    dmsd = DemandMappedDevice("vol", 2048 * PAGE, alloc)
+    ship = SnapshotShippingReplicator(sim, dmsd, net, a, b, period=period)
+    return net, dmsd, ship
+
+
+class TestDeltaComputation:
+    def test_first_delta_is_full_mapped_set(self):
+        sim = Simulator()
+        _net, dmsd, _ship = make_env(sim)
+        dmsd.write(0, 5 * PAGE)
+        snap = take_snapshot(dmsd, "s")
+        assert snapshot_delta_pages(None, snap) == 5
+
+    def test_unchanged_pages_excluded(self):
+        sim = Simulator()
+        _net, dmsd, _ship = make_env(sim)
+        dmsd.write(0, 5 * PAGE)
+        old = take_snapshot(dmsd, "old")
+        dmsd.write(0, PAGE)          # COW: one page changes
+        dmsd.write(10 * PAGE, PAGE)  # one new page
+        new = take_snapshot(dmsd, "new")
+        assert snapshot_delta_pages(old, new) == 2
+
+
+class TestShipping:
+    def test_ships_only_deltas(self):
+        sim = Simulator()
+        _net, dmsd, ship = make_env(sim)
+
+        def scenario():
+            dmsd.write(0, 8 * PAGE)
+            yield from ship.ship_now()
+            first = ship.bytes_shipped
+            dmsd.write(0, PAGE)  # change one page
+            yield from ship.ship_now()
+            return first, ship.bytes_shipped - first
+
+        p = sim.process(scenario())
+        sim.run(until=p)
+        first, second = p.value
+        assert first == 8 * PAGE
+        assert second == PAGE
+
+    def test_periodic_cycles_and_rpo(self):
+        sim = Simulator()
+        _net, dmsd, ship = make_env(sim, period=30.0)
+        dmsd.write(0, 4 * PAGE)
+        ship.start()
+        assert ship.rpo_at(10.0) == 10.0  # nothing shipped yet
+        sim.run(until=200.0)
+        assert ship.cycles >= 5
+        rpo = ship.rpo_at(sim.now)
+        assert 0 < rpo < 2 * 30.0 + 1.0  # bounded by period + ship time
+
+    def test_idle_cycles_ship_nothing(self):
+        sim = Simulator()
+        _net, dmsd, ship = make_env(sim, period=10.0)
+        dmsd.write(0, 2 * PAGE)
+        ship.start()
+        sim.run(until=100.0)
+        # Only the first cycle had a delta.
+        assert ship.bytes_shipped == 2 * PAGE
+        assert ship.cycles >= 8
+
+    def test_failed_target_skips_cycle(self):
+        sim = Simulator()
+        net, dmsd, ship = make_env(sim, period=10.0)
+        dmsd.write(0, PAGE)
+        net.sites["b"].fail()
+        ship.start()
+        sim.run(until=50.0)
+        assert ship.bytes_shipped == 0
+        net.sites["b"].repair()
+        sim.run(until=70.0)
+        assert ship.bytes_shipped == PAGE
+
+    def test_baseline_snapshots_recycled(self):
+        """Old baselines are deleted: space does not grow with cycles."""
+        sim = Simulator()
+        _net, dmsd, ship = make_env(sim, period=5.0)
+        dmsd.write(0, 2 * PAGE)
+        ship.start()
+
+        def churn():
+            for i in range(10):
+                yield sim.timeout(5.0)
+                dmsd.write((i % 4) * PAGE, PAGE)
+
+        sim.process(churn())
+        sim.run(until=80.0)
+        # Live pages: device (<=5 mapped) + one baseline snapshot refs.
+        assert dmsd.allocator.live_pages() <= 2 * dmsd.mapped_pages + 2
+
+    def test_validation(self):
+        sim = Simulator()
+        net, dmsd, _ = make_env(sim)
+        with pytest.raises(ValueError):
+            SnapshotShippingReplicator(sim, dmsd, net, net.sites["a"],
+                                       net.sites["b"], period=0)

@@ -1,0 +1,192 @@
+"""Unit tests for the disk model."""
+
+import pytest
+
+from repro.hardware import Disk, DiskFailedError, make_disk_farm
+from repro.sim import Simulator
+from repro.sim.units import mib
+
+
+def make_disk(sim, **kw):
+    defaults = dict(capacity=mib(100), seek_time=0.005, rpm=10_000.0,
+                    transfer_rate=40e6)
+    defaults.update(kw)
+    return Disk(sim, **defaults)
+
+
+def test_random_read_includes_positioning():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def proc():
+        yield disk.read(0, 4096)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    expected = 0.005 + 30.0 / 10_000.0 + 4096 / 40e6
+    assert p.value == pytest.approx(expected)
+
+
+def test_sequential_read_skips_positioning():
+    sim = Simulator()
+    disk = make_disk(sim)
+    times = []
+
+    def proc():
+        yield disk.read(0, mib(1))
+        times.append(sim.now)
+        yield disk.read(mib(1), mib(1))  # head is already there
+        times.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    first = times[0]
+    second_delta = times[1] - times[0]
+    transfer_only = mib(1) / 40e6
+    assert first > transfer_only          # paid seek + rotation
+    assert second_delta == pytest.approx(transfer_only)  # no positioning
+
+
+def test_requests_queue_fifo():
+    sim = Simulator()
+    disk = make_disk(sim)
+    completions = []
+
+    def proc(tag):
+        yield disk.read(0, 4096)
+        completions.append((tag, sim.now))
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert completions[0][0] == "a"
+    assert completions[1][1] > completions[0][1]
+
+
+def test_priority_lets_foreground_pass_background():
+    sim = Simulator()
+    disk = make_disk(sim)
+    order = []
+
+    def submit(tag, prio, delay):
+        yield sim.timeout(delay)
+        yield disk.read(0, mib(1), priority=prio)
+        order.append(tag)
+
+    # One op in service, then a background and a foreground op queue up.
+    sim.process(submit("head", 0.0, 0.0))
+    sim.process(submit("background", 5.0, 0.001))
+    sim.process(submit("foreground", 0.0, 0.002))
+    sim.run()
+    assert order == ["head", "foreground", "background"]
+
+
+def test_out_of_range_io_rejected():
+    sim = Simulator()
+    disk = make_disk(sim, capacity=1000)
+    with pytest.raises(ValueError):
+        disk.read(900, 200)
+    with pytest.raises(ValueError):
+        disk.write(-1, 10)
+
+
+def test_failed_disk_fails_io():
+    sim = Simulator()
+    disk = make_disk(sim)
+    disk.fail()
+    caught = []
+
+    def proc():
+        try:
+            yield disk.read(0, 4096)
+        except DiskFailedError:
+            caught.append(True)
+
+    sim.process(proc())
+    sim.run()
+    assert caught == [True]
+
+
+def test_failure_mid_io_fails_inflight_request():
+    sim = Simulator()
+    disk = make_disk(sim)
+    caught = []
+
+    def reader():
+        try:
+            yield disk.read(0, mib(10))  # long transfer
+        except DiskFailedError:
+            caught.append(sim.now)
+
+    def killer():
+        yield sim.timeout(0.01)
+        disk.fail()
+
+    sim.process(reader())
+    sim.process(killer())
+    sim.run()
+    assert len(caught) == 1
+
+
+def test_repair_restores_service():
+    sim = Simulator()
+    disk = make_disk(sim)
+    disk.fail()
+    disk.repair()
+
+    def proc():
+        got = yield disk.read(0, 4096)
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 4096
+
+
+def test_utilization_and_counters():
+    sim = Simulator()
+    disk = make_disk(sim)
+
+    def proc():
+        yield disk.read(0, mib(4))
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert disk.ops == 1
+    assert disk.bytes_moved == mib(4)
+    assert 0.0 < disk.mean_utilization() < 1.0
+
+
+def test_queue_depth_reflects_waiting():
+    sim = Simulator()
+    disk = make_disk(sim)
+    depths = []
+
+    def submit():
+        for _ in range(3):
+            disk.read(0, mib(1))
+        yield sim.timeout(0.0001)
+        depths.append(disk.queue_depth)
+
+    sim.process(submit())
+    sim.run()
+    assert depths[0] == 3
+
+
+def test_make_disk_farm():
+    sim = Simulator()
+    farm = make_disk_farm(sim, 4, mib(10), name="pool")
+    assert len(farm) == 4
+    assert farm[2].name == "pool.d2"
+    with pytest.raises(ValueError):
+        make_disk_farm(sim, 0, mib(10))
+
+
+def test_bad_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Disk(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Disk(sim, capacity=100, transfer_rate=0)

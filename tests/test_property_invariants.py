@@ -1,0 +1,195 @@
+"""Cross-module property tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import make_disk_farm
+from repro.raid import DeclusteredPool, RaidArray, RaidLayout, RaidLevel, coalesce
+from repro.raid.layout import IoOp
+from repro.sim import FairShareLink, Simulator
+
+CHUNK = 1024
+
+parity_levels = st.sampled_from([RaidLevel.RAID5, RaidLevel.RAID6])
+
+
+class TestLayoutProperties:
+    @settings(max_examples=60)
+    @given(parity_levels, st.integers(4, 9), st.integers(0, 500))
+    def test_chunk_addresses_bijective_within_stripe(self, level, disks, base):
+        """No two logical chunks of one stripe share a physical disk, and
+        none lands on a parity disk."""
+        layout = RaidLayout(level, disks, CHUNK)
+        d = layout.data_disks_per_stripe
+        stripe_base = (base // d) * d
+        addresses = [layout.chunk_address(stripe_base + q) for q in range(d)]
+        homes = [a.disk for a in addresses]
+        assert len(set(homes)) == d
+        parity = set(layout.parity_disks(addresses[0].stripe))
+        assert not set(homes) & parity
+
+    @settings(max_examples=60)
+    @given(st.sampled_from(list(RaidLevel)), st.integers(0, 300))
+    def test_chunk_address_deterministic_and_in_range(self, level, chunk):
+        disks = {RaidLevel.RAID0: 3, RaidLevel.RAID1: 2, RaidLevel.RAID5: 5,
+                 RaidLevel.RAID6: 6, RaidLevel.RAID10: 6}[level]
+        layout = RaidLayout(level, disks, CHUNK)
+        a = layout.chunk_address(chunk)
+        b = layout.chunk_address(chunk)
+        assert a == b
+        assert 0 <= a.disk < disks
+        assert a.offset >= 0
+        assert all(0 <= p < disks for p in a.parity_disks)
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000), st.integers(1, 5000))
+    def test_chunks_for_range_partition(self, offset, nbytes):
+        """Pieces tile the range exactly: contiguous, non-overlapping."""
+        layout = RaidLayout(RaidLevel.RAID5, 5, CHUNK)
+        pieces = layout.chunks_for_range(offset, nbytes)
+        pos = offset
+        for chunk, intra, length in pieces:
+            assert chunk * CHUNK + intra == pos
+            assert 0 < length <= CHUNK
+            pos += length
+        assert pos == offset + nbytes
+
+
+class TestPlanProperties:
+    @settings(max_examples=40)
+    @given(parity_levels, st.integers(0, 50), st.integers(1, 4000),
+           st.integers(0, 5))
+    def test_degraded_plans_never_touch_failed_disks(self, level, offset,
+                                                     nbytes, failed_disk):
+        sim = Simulator()
+        disks = make_disk_farm(sim, 6, 64 * CHUNK)
+        arr = RaidArray(sim, disks, level, chunk_size=CHUNK)
+        arr.mark_failed(failed_disk % 6)
+        offset = offset % (arr.capacity - nbytes) if nbytes < arr.capacity \
+            else 0
+        nbytes = min(nbytes, arr.capacity - offset)
+        for plan in (arr.read_plan(offset, nbytes),
+                     arr.write_plan(offset, nbytes)):
+            assert all(op.disk not in arr.failed for op in plan)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 20),
+                              st.integers(1, 10),
+                              st.sampled_from(["read", "write"])),
+                    max_size=30))
+    def test_coalesce_preserves_coverage(self, raw):
+        ops = [IoOp(d, o * 10, n * 10, k) for d, o, n, k in raw]
+        merged = coalesce(ops)
+
+        def cover(ops_list):
+            bytes_covered = {}
+            for op in ops_list:
+                key = (op.disk, op.op)
+                s = bytes_covered.setdefault(key, set())
+                s.update(range(op.offset, op.offset + op.nbytes))
+            return bytes_covered
+
+        assert cover(ops) == cover(merged)
+        # Merged ops on one (disk, op) never overlap or touch.
+        by_key: dict = {}
+        for op in merged:
+            by_key.setdefault((op.disk, op.op), []).append(op)
+        for group in by_key.values():
+            group.sort(key=lambda o: o.offset)
+            for a, b in zip(group, group[1:]):
+                assert a.offset + a.nbytes < b.offset
+
+
+class TestDeclusterProperties:
+    @settings(max_examples=30)
+    @given(st.integers(8, 24), st.integers(2, 6), st.integers(0, 10_000))
+    def test_members_distinct_and_spare_disjoint(self, n_disks, k, stripe):
+        sim = Simulator()
+        disks = make_disk_farm(sim, n_disks, 256 * 64 * 1024)
+        try:
+            pool = DeclusteredPool(sim, disks, data_per_stripe=k)
+        except ValueError:
+            return  # width too large for the farm: rejected, fine
+        stripe %= pool.stripe_count
+        members = pool.stripe_members(stripe)
+        assert len(members) == len(set(members)) == k + 1
+        failed = members[0]
+        pool.mark_failed(failed)
+        spare = pool.spare_target(stripe, failed)
+        assert spare not in members
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 2**31))
+    def test_chunk_slots_within_disk(self, stripe_seed):
+        sim = Simulator()
+        pool = DeclusteredPool(sim, make_disk_farm(sim, 12, 128 * 64 * 1024),
+                               data_per_stripe=4)
+        stripe = stripe_seed % pool.stripe_count
+        for disk in pool.stripe_members(stripe):
+            slot = pool.chunk_slot(stripe, disk)
+            assert 0 <= slot <= pool.disks[disk].capacity - pool.chunk_size
+
+
+class TestLinkProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 10_000),
+                              st.integers(0, 1000)), min_size=1,
+                    max_size=12))
+    def test_fair_share_conserves_bytes_and_respects_capacity(self, flows):
+        """All transfers complete; total carried equals total offered; and
+        the link never finishes faster than capacity allows."""
+        sim = Simulator()
+        link = FairShareLink(sim, bandwidth=1000.0)
+        finished = []
+
+        def client(nbytes, delay_ms):
+            yield sim.timeout(delay_ms / 1000.0)
+            yield link.transfer(float(nbytes))
+            finished.append(sim.now)
+
+        total = 0
+        first_start = min(d for _n, d in flows) / 1000.0
+        for nbytes, delay in flows:
+            total += nbytes
+            sim.process(client(nbytes, delay))
+        sim.run()
+        assert len(finished) == len(flows)
+        assert link.total_bytes == pytest.approx(total, rel=1e-6)
+        makespan = max(finished) - first_start
+        assert makespan >= total / 1000.0 - 1e-6  # capacity is never beaten
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(1, 5000), min_size=2, max_size=8))
+    def test_simultaneous_flows_finish_in_size_order(self, sizes):
+        sim = Simulator()
+        link = FairShareLink(sim, bandwidth=997.0)
+        order = []
+
+        def client(i, nbytes):
+            yield link.transfer(float(nbytes))
+            order.append(i)
+
+        for i, nbytes in enumerate(sizes):
+            sim.process(client(i, nbytes))
+        sim.run()
+        finish_sizes = [sizes[i] for i in order]
+        assert finish_sizes == sorted(finish_sizes)
+
+
+class TestParityPipelineProperty:
+    @settings(max_examples=20)
+    @given(st.integers(3, 8), st.integers(0, 2**32 - 1))
+    def test_raid6_full_cycle(self, data_disks, seed):
+        """Generate → lose two → recover → verify, end to end."""
+        from repro.raid import raid6_pq, raid6_recover_two_data
+        rng = np.random.default_rng(seed)
+        blocks = [rng.integers(0, 256, 64, dtype=np.uint8)
+                  for _ in range(data_disks)]
+        p, q = raid6_pq(blocks)
+        x, y = sorted(rng.choice(data_disks, size=2, replace=False))
+        holed = [b if i not in (x, y) else None for i, b in enumerate(blocks)]
+        dx, dy = raid6_recover_two_data(holed, p, q)
+        assert np.array_equal(dx, blocks[x])
+        assert np.array_equal(dy, blocks[y])

@@ -1,0 +1,274 @@
+"""Unit tests for protocol exports: streaming, SCSI, iSCSI, NAS, HTTP, FTP."""
+
+import pytest
+
+from repro.hardware import ControllerBlade
+from repro.protocols import (
+    DirectHttpExport,
+    FtpExport,
+    IscsiPortal,
+    NasServer,
+    ScsiTarget,
+    ServerMediatedExport,
+    figure1_configuration,
+)
+from repro.security import LunMaskingTable, MaskingViolation
+from repro.sim import FairShareLink, Simulator
+from repro.sim.units import gb, gbps, kib, mib
+
+
+def run_stream(blade_count, total=gb(2), port_rate_gb=10.0):
+    sim = Simulator()
+    agg = figure1_configuration(sim, blade_count=blade_count,
+                                port_rate_gb=port_rate_gb)
+    ev = agg.stream(total)
+    result = sim.run(until=ev)
+    return result
+
+
+class TestStripedStreaming:
+    def test_single_blade_limited_by_fc(self):
+        result = run_stream(1)
+        # One blade: 2 × 2 Gb/s FC is the ceiling.
+        assert result.gbps <= 4.0 + 0.2
+        assert result.gbps > 2.5
+
+    def test_four_blades_reach_the_neighborhood_of_10gbs(self):
+        """Figure 1 / §8: four blades aggregate 'in the neighborhood of
+        10 Gbs' — bounded by the shared PCI-X bus (~8.5 Gb/s)."""
+        result = run_stream(4)
+        assert result.gbps > 7.0
+        assert result.blades_used == 4
+
+    def test_scaling_is_monotonic_until_saturation(self):
+        rates = [run_stream(n).gbps for n in (1, 2, 4)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_failed_blade_excluded(self):
+        sim = Simulator()
+        agg = figure1_configuration(sim, blade_count=4)
+        agg.blades[0].fail()
+        ev = agg.stream(gb(1))
+        result = sim.run(until=ev)
+        assert result.blades_used == 3
+
+    def test_all_blades_down_fails(self):
+        sim = Simulator()
+        agg = figure1_configuration(sim, blade_count=1)
+        agg.blades[0].fail()
+        ev = agg.stream(gb(1))
+        with pytest.raises(RuntimeError):
+            sim.run(until=ev)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            figure1_configuration(sim, blade_count=0)
+        agg = figure1_configuration(sim, blade_count=1)
+        with pytest.raises(ValueError):
+            agg.stream(0)
+
+
+class TestScsiTarget:
+    def make(self, sim):
+        masking = LunMaskingTable()
+        masking.register_lun("lun0")
+        masking.expose("host-a", "lun0")
+
+        def backend(lun, op, offset, nbytes):
+            return sim.timeout(0.001, value=nbytes)
+
+        return ScsiTarget(sim, masking, backend)
+
+    def test_authorized_command_served(self):
+        sim = Simulator()
+        target = self.make(sim)
+
+        def proc():
+            got = yield target.submit("host-a", "lun0", "read", 0, 4096)
+            return got
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 4096
+        assert target.commands_served == 1
+
+    def test_masked_command_rejected(self):
+        sim = Simulator()
+        target = self.make(sim)
+        caught = []
+
+        def proc():
+            try:
+                yield target.submit("intruder", "lun0", "read", 0, 4096)
+            except MaskingViolation:
+                caught.append(True)
+
+        sim.process(proc())
+        sim.run()
+        assert caught == [True]
+        assert target.commands_rejected == 1
+
+    def test_report_luns_masked_view(self):
+        sim = Simulator()
+        target = self.make(sim)
+        assert target.report_luns("host-a") == ["lun0"]
+        assert target.report_luns("intruder") == []
+
+    def test_bad_op_rejected(self):
+        sim = Simulator()
+        target = self.make(sim)
+        with pytest.raises(ValueError):
+            target.submit("host-a", "lun0", "format", 0, 0)
+
+
+class TestIscsi:
+    def test_session_and_overhead(self):
+        sim = Simulator()
+        masking = LunMaskingTable()
+        masking.register_lun("lun0")
+        masking.expose("iqn.2002.lab:host1", "lun0")
+
+        def backend(lun, op, offset, nbytes):
+            return sim.timeout(0.0, value=nbytes)
+
+        target = ScsiTarget(sim, masking, backend, per_op_overhead=0.0)
+        portal = IscsiPortal(sim, target, network_rtt=0.001,
+                             tcp_cost_per_byte=1e-9)
+        session = portal.login("iqn.2002.lab:host1")
+
+        def proc():
+            t0 = sim.now
+            yield portal.submit(session, "lun0", "read", 0, 10**6)
+            return sim.now - t0
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value >= 0.001 + 1e-9 * 10**6
+
+    def test_unknown_session_rejected(self):
+        sim = Simulator()
+        masking = LunMaskingTable()
+        masking.register_lun("lun0")
+        target = ScsiTarget(sim, masking,
+                            lambda *a: sim.timeout(0.0))
+        portal = IscsiPortal(sim, target)
+        caught = []
+
+        def proc():
+            try:
+                yield portal.submit("forged", "lun0", "read", 0, 10)
+            except PermissionError:
+                caught.append(True)
+
+        sim.process(proc())
+        sim.run()
+        assert caught == [True]
+
+
+def make_pfs(sim):
+    from repro.fs import ParallelFileSystem
+    from repro.virt import Allocator, StoragePool
+    alloc = Allocator([StoragePool("p", 1024 * kib(64), kib(64))])
+    return ParallelFileSystem(alloc, [0, 1], stripe_unit=kib(64))
+
+
+class TestNasServer:
+    def test_read_splits_into_rpcs(self):
+        sim = Simulator()
+        pfs = make_pfs(sim)
+        pfs.create("/f")
+        pfs.write("/f", 0, kib(128))
+        served = []
+
+        def data_path(blade, key, op):
+            served.append((blade, op))
+            return sim.timeout(0.0005)
+
+        nas = NasServer(sim, pfs, data_path, max_transfer=kib(32))
+
+        def proc():
+            yield nas.read("/f", 0, kib(128))
+
+        sim.process(proc())
+        sim.run()
+        assert len(served) == 4  # 128 KiB / 32 KiB RPCs
+        assert nas.rpc_count == 4
+
+    def test_write_advances_eof_and_invalidates_attrs(self):
+        sim = Simulator()
+        pfs = make_pfs(sim)
+        pfs.create("/f")
+        nas = NasServer(sim, pfs, lambda b, k, o: sim.timeout(0.0))
+
+        def proc():
+            size0 = yield nas.getattr("/f")
+            yield nas.write("/f", 0, kib(64))
+            size1 = yield nas.getattr("/f")
+            return (size0, size1)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == (0, kib(64))
+
+    def test_attr_cache_suppresses_rpcs(self):
+        sim = Simulator()
+        pfs = make_pfs(sim)
+        pfs.create("/f")
+        nas = NasServer(sim, pfs, lambda b, k, o: sim.timeout(0.0),
+                        attr_cache_ttl=10.0)
+
+        def proc():
+            yield nas.getattr("/f")
+            before = nas.rpc_count
+            yield nas.getattr("/f")  # cached
+            return nas.rpc_count - before
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0
+
+
+class TestHttpFtp:
+    def test_direct_beats_server_mediated(self):
+        sim = Simulator()
+        client = FairShareLink(sim, gbps(1), name="client")
+        server_in = FairShareLink(sim, gbps(1), name="srv")
+        client2 = FairShareLink(sim, gbps(1), name="client2")
+
+        def storage_read(nbytes):
+            return sim.timeout(nbytes / 2.5e8)  # 2 Gb/s storage feed
+
+        direct = DirectHttpExport(sim, storage_read, client)
+        mediated = ServerMediatedExport(sim, storage_read, server_in, client2)
+        times = {}
+
+        def proc():
+            t0 = sim.now
+            yield direct.get(mib(64))
+            times["direct"] = sim.now - t0
+            t0 = sim.now
+            yield mediated.get(mib(64))
+            times["mediated"] = sim.now - t0
+
+        sim.process(proc())
+        sim.run()
+        assert times["direct"] < times["mediated"]
+        assert direct.requests_served == 1
+        assert mediated.requests_served == 1
+
+    def test_ftp_whole_file(self):
+        sim = Simulator()
+        client = FairShareLink(sim, gbps(1), name="c")
+        ftp = FtpExport(sim, lambda n: sim.timeout(n / 2.5e8), client)
+
+        def proc():
+            got = yield ftp.retr(mib(16))
+            return got
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == mib(16)
+        assert ftp.transfers_completed == 1
+        with pytest.raises(ValueError):
+            ftp.retr(0)

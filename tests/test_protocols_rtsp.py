@@ -1,0 +1,71 @@
+"""Unit tests for the RTSP paced-streaming engine."""
+
+import pytest
+
+from repro.protocols import RtspSession, run_sessions
+from repro.sim import FairShareLink, Simulator
+from repro.sim.units import gbps, mbps, mib
+
+
+def storage_path(sim, bandwidth):
+    link = FairShareLink(sim, bandwidth, name="storage")
+    return lambda nbytes: link.transfer(nbytes)
+
+
+def test_fast_storage_plays_smoothly():
+    sim = Simulator()
+    session = RtspSession(sim, storage_path(sim, gbps(1)),
+                          bit_rate=mbps(8) * 8, duration=20.0)
+    stats = sim.run(until=session.play())
+    assert stats.smooth
+    assert stats.rebuffer_events == 0
+    assert stats.delivered_bytes > 0
+    assert stats.startup_delay < 1.0
+    # Playback duration ≈ content duration (paced, not bulk).
+    assert stats.duration == pytest.approx(20.0, rel=0.15)
+
+
+def test_starved_storage_rebuffers():
+    sim = Simulator()
+    # Storage sustains only half the content bit rate.
+    content_rate = 16e6  # 16 Mb/s
+    session = RtspSession(sim, storage_path(sim, content_rate / 8 / 2),
+                          bit_rate=content_rate, duration=10.0)
+    stats = sim.run(until=session.play())
+    assert not stats.smooth
+    assert stats.rebuffer_events > 0
+    assert stats.rebuffer_time > 0
+    assert stats.duration > 10.0  # stalls stretched the session
+
+
+def test_many_sessions_until_path_saturates():
+    """QoS holds while aggregate demand fits the path, then degrades."""
+    def rebuffers(count):
+        sim = Simulator()
+        read = storage_path(sim, 100e6)  # 100 MB/s path
+        sessions = run_sessions(sim, read, count,
+                                bit_rate=80e6, duration=8.0)  # 10 MB/s each
+        sim.run()
+        return sum(s.value.rebuffer_events for s in sessions)
+
+    assert rebuffers(6) == 0      # 60 MB/s demand: smooth
+    assert rebuffers(20) > 0      # 200 MB/s demand: stalls
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        RtspSession(sim, lambda n: sim.timeout(0), bit_rate=0, duration=1)
+    with pytest.raises(ValueError):
+        RtspSession(sim, lambda n: sim.timeout(0), bit_rate=1, duration=1,
+                    buffer_target=0)
+
+
+def test_stats_fields_consistent():
+    sim = Simulator()
+    session = RtspSession(sim, storage_path(sim, gbps(1)),
+                          bit_rate=mbps(4) * 8, duration=5.0,
+                          segment_bytes=mib(1))
+    stats = sim.run(until=session.play())
+    assert stats.delivered_bytes % mib(1) == 0
+    assert stats.rebuffer_time == 0.0

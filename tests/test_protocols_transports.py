@@ -1,0 +1,83 @@
+"""Unit tests for host-attach transport profiles."""
+
+import pytest
+
+from repro.protocols import (
+    ALL_TRANSPORTS,
+    DAFS_TRANSPORT,
+    FC_TRANSPORT,
+    INFINIBAND_VI_TRANSPORT,
+    TCP_IP_TRANSPORT,
+    TransportEndpoint,
+)
+from repro.sim import Simulator
+from repro.sim.units import gbps, mib
+
+
+def test_profiles_cover_paper_transports():
+    names = {p.name for p in ALL_TRANSPORTS}
+    assert names == {"fc", "tcp-ip", "infiniband-vi", "dafs"}
+
+
+def test_tcp_burns_most_host_cpu():
+    per_byte = {p.name: p.host_cpu_per_byte for p in ALL_TRANSPORTS}
+    assert per_byte["tcp-ip"] > 10 * per_byte["infiniband-vi"]
+    assert per_byte["tcp-ip"] > 10 * per_byte["fc"]
+    assert per_byte["dafs"] < 2 * per_byte["infiniband-vi"]
+
+
+def test_endpoint_transfer_accounts_time_and_cpu():
+    sim = Simulator()
+    ep = TransportEndpoint(sim, TCP_IP_TRANSPORT, wire_bandwidth=gbps(1))
+
+    def proc():
+        yield ep.transfer(mib(1))
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    wire = mib(1) / gbps(1)
+    assert p.value > wire  # protocol cost on top of the wire
+    assert ep.host_cpu_seconds == pytest.approx(
+        mib(1) * TCP_IP_TRANSPORT.host_cpu_per_byte)
+    assert ep.ops >= 1
+
+
+def test_large_transfers_fragment_at_max_payload():
+    sim = Simulator()
+    ep = TransportEndpoint(sim, FC_TRANSPORT, wire_bandwidth=gbps(2))
+
+    def proc():
+        yield ep.transfer(3 * FC_TRANSPORT.max_payload)
+
+    sim.process(proc())
+    sim.run()
+    assert ep.ops == 3
+
+
+def test_rdma_transports_deliver_higher_effective_rate():
+    sim = Simulator()
+    wire = gbps(1)
+    rates = {p.name: TransportEndpoint(sim, p, wire).effective_rate(mib(1))
+             for p in ALL_TRANSPORTS}
+    assert rates["infiniband-vi"] > rates["tcp-ip"]
+    assert rates["dafs"] > rates["tcp-ip"]
+    # All are below the raw wire rate.
+    assert all(r < wire for r in rates.values())
+
+
+def test_zero_byte_and_validation():
+    sim = Simulator()
+    ep = TransportEndpoint(sim, DAFS_TRANSPORT, wire_bandwidth=gbps(1))
+
+    def proc():
+        got = yield ep.transfer(0)
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 0
+    with pytest.raises(ValueError):
+        ep.transfer(-1)
+    with pytest.raises(ValueError):
+        TransportEndpoint(sim, INFINIBAND_VI_TRANSPORT, wire_bandwidth=0)

@@ -1,0 +1,244 @@
+"""Unit tests for RaidArray plan generation and execution."""
+
+import pytest
+
+from repro.hardware import make_disk_farm
+from repro.raid import RaidArray, RaidLevel, UnrecoverableArrayError, coalesce
+from repro.raid.layout import IoOp
+from repro.sim import Simulator
+
+CHUNK = 1024
+DISK_CAP = 64 * CHUNK
+
+
+def make_array(sim, level, n, chunk=CHUNK):
+    disks = make_disk_farm(sim, n, DISK_CAP, name="t")
+    return RaidArray(sim, disks, level, chunk_size=chunk)
+
+
+class TestCoalesce:
+    def test_merges_adjacent(self):
+        ops = [IoOp(0, 0, 100, "read"), IoOp(0, 100, 100, "read")]
+        merged = coalesce(ops)
+        assert merged == [IoOp(0, 0, 200, "read")]
+
+    def test_keeps_gaps(self):
+        ops = [IoOp(0, 0, 100, "read"), IoOp(0, 300, 100, "read")]
+        assert len(coalesce(ops)) == 2
+
+    def test_separates_read_write_and_disks(self):
+        ops = [IoOp(0, 0, 100, "read"), IoOp(0, 100, 100, "write"),
+               IoOp(1, 0, 100, "read")]
+        assert len(coalesce(ops)) == 3
+
+    def test_overlapping_merge(self):
+        ops = [IoOp(0, 0, 150, "read"), IoOp(0, 100, 100, "read")]
+        assert coalesce(ops) == [IoOp(0, 0, 200, "read")]
+
+
+class TestRaid0Plans:
+    def test_read_spreads_across_disks(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID0, 4)
+        plan = arr.read_plan(0, 4 * CHUNK)
+        assert sorted(op.disk for op in plan) == [0, 1, 2, 3]
+        assert all(op.op == "read" and op.nbytes == CHUNK for op in plan)
+
+    def test_failed_disk_is_fatal(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID0, 4)
+        arr.mark_failed(1)
+        assert arr.is_failed
+        with pytest.raises(UnrecoverableArrayError):
+            arr.read_plan(0, 4 * CHUNK)
+
+
+class TestRaid1Plans:
+    def test_write_hits_all_mirrors(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID1, 3)
+        plan = arr.write_plan(0, CHUNK)
+        assert sorted(op.disk for op in plan) == [0, 1, 2]
+        assert all(op.op == "write" for op in plan)
+
+    def test_reads_rotate_across_mirrors(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID1, 2)
+        sources = {arr.read_plan(0, CHUNK)[0].disk for _ in range(4)}
+        assert sources == {0, 1}
+
+    def test_degraded_read_uses_survivor(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID1, 2)
+        arr.mark_failed(0)
+        for _ in range(3):
+            plan = arr.read_plan(0, CHUNK)
+            assert plan[0].disk == 1
+
+    def test_all_mirrors_lost(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID1, 2)
+        arr.mark_failed(0)
+        arr.mark_failed(1)
+        assert arr.is_failed
+
+
+class TestRaid5Plans:
+    def test_clean_read_touches_only_data(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        plan = arr.read_plan(0, CHUNK)
+        assert len(plan) == 1
+        assert plan[0] == IoOp(0, 0, CHUNK, "read")
+
+    def test_degraded_read_reconstructs_from_peers(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        arr.mark_failed(0)  # stripe 0 data disk
+        plan = arr.read_plan(0, CHUNK)
+        # Reads the two other data chunks + parity (disks 1, 2, 3).
+        assert sorted(op.disk for op in plan) == [1, 2, 3]
+        assert all(op.nbytes == CHUNK for op in plan)
+
+    def test_small_write_is_read_modify_write(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        plan = arr.write_plan(0, CHUNK)  # one of three data chunks
+        reads = [op for op in plan if op.op == "read"]
+        writes = [op for op in plan if op.op == "write"]
+        # Classic RAID5 small-write: 2 reads (old data, old parity),
+        # 2 writes (new data, new parity).
+        assert len(reads) == 2
+        assert len(writes) == 2
+        assert {op.disk for op in writes} == {0, 3}
+
+    def test_full_stripe_write_skips_reads(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        plan = arr.write_plan(0, 3 * CHUNK)  # full stripe 0
+        assert all(op.op == "write" for op in plan)
+        assert sorted(op.disk for op in plan) == [0, 1, 2, 3]
+
+    def test_degraded_write_reconstructs(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        arr.mark_failed(0)
+        plan = arr.write_plan(0, CHUNK)  # writing onto the dead disk
+        writes = [op for op in plan if op.op == "write"]
+        reads = [op for op in plan if op.op == "read"]
+        # Can't write disk 0; must read surviving data (1, 2) and write parity.
+        assert all(op.disk != 0 for op in plan)
+        assert {op.disk for op in reads} == {1, 2}
+        assert {op.disk for op in writes} == {3}
+
+    def test_write_to_failed_parity_stripe(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        arr.mark_failed(3)  # parity disk of stripe 0
+        plan = arr.write_plan(0, CHUNK)
+        # No parity to maintain: a single data write.
+        assert plan == [IoOp(0, 0, CHUNK, "write")]
+
+    def test_double_failure_is_fatal(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        arr.mark_failed(0)
+        arr.mark_failed(1)
+        assert arr.is_failed
+        with pytest.raises(UnrecoverableArrayError):
+            arr.read_plan(0, CHUNK)
+
+
+class TestRaid6Plans:
+    def test_survives_two_failures(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID6, 5)
+        arr.mark_failed(0)
+        arr.mark_failed(1)
+        assert not arr.is_failed
+        plan = arr.read_plan(0, CHUNK)
+        assert all(op.disk not in (0, 1) for op in plan)
+
+    def test_three_failures_fatal(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID6, 5)
+        for d in (0, 1, 2):
+            arr.mark_failed(d)
+        assert arr.is_failed
+
+
+class TestRaid10Plans:
+    def test_pair_loss_is_fatal_but_spread_loss_is_not(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID10, 4)
+        arr.mark_failed(0)
+        arr.mark_failed(2)  # different pairs: fine
+        assert not arr.is_failed
+        arr.mark_replaced(2)
+        arr.mark_failed(1)  # both of pair (0,1): data loss
+        assert arr.is_failed
+
+    def test_write_mirrors_within_pair(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID10, 4)
+        plan = arr.write_plan(0, CHUNK)
+        assert sorted(op.disk for op in plan) == [0, 1]
+
+
+class TestExecution:
+    def test_striped_read_faster_than_single_disk(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID0, 4)
+
+        def striped():
+            yield arr.read(0, 4 * CHUNK)
+            return sim.now
+
+        p = sim.process(striped())
+        sim.run()
+        striped_time = p.value
+
+        sim2 = Simulator()
+        arr2 = make_array(sim2, RaidLevel.RAID0, 1)
+
+        def single():
+            yield arr2.read(0, 4 * CHUNK)
+            return sim2.now
+
+        p2 = sim2.process(single())
+        sim2.run()
+        assert striped_time < p2.value
+
+    def test_capacity_bounds_enforced(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        with pytest.raises(ValueError):
+            arr.read_plan(arr.capacity - 10, 100)
+
+    def test_mismatched_disk_sizes_rejected(self):
+        sim = Simulator()
+        from repro.hardware import Disk
+        disks = [Disk(sim, DISK_CAP), Disk(sim, DISK_CAP * 2)]
+        with pytest.raises(ValueError):
+            RaidArray(sim, disks, RaidLevel.RAID0)
+
+    def test_empty_plan_completes_immediately(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID0, 2)
+
+        def proc():
+            yield arr.execute_plan([])
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_replaced_disk_restores_clean_plans(self):
+        sim = Simulator()
+        arr = make_array(sim, RaidLevel.RAID5, 4)
+        arr.mark_failed(0)
+        arr.mark_replaced(0)
+        assert not arr.is_degraded
+        plan = arr.read_plan(0, CHUNK)
+        assert len(plan) == 1

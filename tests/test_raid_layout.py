@@ -1,0 +1,172 @@
+"""Unit tests for RAID layout math against hand-computed examples."""
+
+import pytest
+
+from repro.raid import RaidLayout, RaidLevel
+
+
+CHUNK = 1024
+
+
+class TestGeometryValidation:
+    @pytest.mark.parametrize("level,minimum", [
+        (RaidLevel.RAID1, 2), (RaidLevel.RAID5, 3),
+        (RaidLevel.RAID6, 4), (RaidLevel.RAID10, 4),
+    ])
+    def test_minimum_disks(self, level, minimum):
+        with pytest.raises(ValueError):
+            RaidLayout(level, minimum - 1)
+        RaidLayout(level, minimum)  # exactly minimum is fine
+
+    def test_raid10_needs_even_count(self):
+        with pytest.raises(ValueError):
+            RaidLayout(RaidLevel.RAID10, 5)
+
+    def test_chunk_size_positive(self):
+        with pytest.raises(ValueError):
+            RaidLayout(RaidLevel.RAID0, 2, chunk_size=0)
+
+
+class TestCapacity:
+    def test_data_disks_per_stripe(self):
+        assert RaidLayout(RaidLevel.RAID0, 4).data_disks_per_stripe == 4
+        assert RaidLayout(RaidLevel.RAID1, 3).data_disks_per_stripe == 1
+        assert RaidLayout(RaidLevel.RAID5, 5).data_disks_per_stripe == 4
+        assert RaidLayout(RaidLevel.RAID6, 6).data_disks_per_stripe == 4
+        assert RaidLayout(RaidLevel.RAID10, 8).data_disks_per_stripe == 4
+
+    def test_redundancy(self):
+        assert RaidLayout(RaidLevel.RAID0, 4).redundancy == 0
+        assert RaidLayout(RaidLevel.RAID1, 3).redundancy == 2
+        assert RaidLayout(RaidLevel.RAID5, 5).redundancy == 1
+        assert RaidLayout(RaidLevel.RAID6, 6).redundancy == 2
+        assert RaidLayout(RaidLevel.RAID10, 4).redundancy == 1
+
+    def test_usable_capacity(self):
+        layout = RaidLayout(RaidLevel.RAID5, 5, CHUNK, disk_capacity=10 * CHUNK)
+        assert layout.usable_capacity() == 10 * 4 * CHUNK
+        with pytest.raises(ValueError):
+            RaidLayout(RaidLevel.RAID5, 5, CHUNK).usable_capacity()
+
+    def test_space_overhead(self):
+        assert RaidLayout(RaidLevel.RAID5, 5).space_overhead() == pytest.approx(0.2)
+        assert RaidLayout(RaidLevel.RAID1, 2).space_overhead() == pytest.approx(0.5)
+        assert RaidLayout(RaidLevel.RAID0, 8).space_overhead() == 0.0
+
+
+class TestRaid0Addressing:
+    def test_round_robin(self):
+        layout = RaidLayout(RaidLevel.RAID0, 3, CHUNK)
+        addrs = [layout.chunk_address(k) for k in range(6)]
+        assert [a.disk for a in addrs] == [0, 1, 2, 0, 1, 2]
+        assert [a.offset for a in addrs] == [0, 0, 0, CHUNK, CHUNK, CHUNK]
+        assert all(a.parity_disks == () for a in addrs)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            RaidLayout(RaidLevel.RAID0, 3).chunk_address(-1)
+
+
+class TestRaid1Addressing:
+    def test_primary_and_mirrors(self):
+        layout = RaidLayout(RaidLevel.RAID1, 3, CHUNK)
+        addr = layout.chunk_address(5)
+        assert addr.disk == 0
+        assert addr.parity_disks == (1, 2)
+        assert addr.offset == 5 * CHUNK
+
+
+class TestRaid10Addressing:
+    def test_pairs_striped(self):
+        layout = RaidLayout(RaidLevel.RAID10, 4, CHUNK)
+        a0 = layout.chunk_address(0)
+        a1 = layout.chunk_address(1)
+        a2 = layout.chunk_address(2)
+        assert (a0.disk, a0.parity_disks) == (0, (1,))
+        assert (a1.disk, a1.parity_disks) == (2, (3,))
+        assert (a2.disk, a2.offset) == (0, CHUNK)
+
+
+class TestRaid5Addressing:
+    """Left-symmetric RAID5 on 4 disks: parity rotates 3,2,1,0; data
+    starts after the parity disk and wraps."""
+
+    def test_parity_rotation(self):
+        layout = RaidLayout(RaidLevel.RAID5, 4, CHUNK)
+        assert [layout.parity_disks(s)[0] for s in range(5)] == [3, 2, 1, 0, 3]
+
+    def test_stripe0_data_layout(self):
+        layout = RaidLayout(RaidLevel.RAID5, 4, CHUNK)
+        # Stripe 0: parity on disk 3, data on 0,1,2 in order.
+        for pos, expected_disk in enumerate([0, 1, 2]):
+            addr = layout.chunk_address(pos)
+            assert addr.stripe == 0
+            assert addr.disk == expected_disk
+            assert addr.offset == 0
+
+    def test_stripe1_wraps_after_parity(self):
+        layout = RaidLayout(RaidLevel.RAID5, 4, CHUNK)
+        # Stripe 1: parity on disk 2, data starts at disk 3 then wraps 0, 1.
+        disks = [layout.chunk_address(3 + q).disk for q in range(3)]
+        assert disks == [3, 0, 1]
+
+    def test_stripe_members_consistent_with_addresses(self):
+        layout = RaidLayout(RaidLevel.RAID5, 5, CHUNK)
+        for stripe in range(7):
+            data, parity = layout.stripe_members(stripe)
+            base = stripe * layout.data_disks_per_stripe
+            addressed = [layout.chunk_address(base + q).disk
+                         for q in range(layout.data_disks_per_stripe)]
+            assert data == addressed
+            assert set(parity) == set(layout.parity_disks(stripe))
+            assert not set(data) & set(parity)
+
+    def test_all_disks_carry_parity_equally(self):
+        layout = RaidLayout(RaidLevel.RAID5, 4, CHUNK)
+        homes = [layout.parity_disks(s)[0] for s in range(4 * 10)]
+        for disk in range(4):
+            assert homes.count(disk) == 10
+
+
+class TestRaid6Addressing:
+    def test_two_distinct_parity_disks(self):
+        layout = RaidLayout(RaidLevel.RAID6, 5, CHUNK)
+        for stripe in range(10):
+            p, q = layout.parity_disks(stripe)
+            assert p != q
+            assert 0 <= p < 5 and 0 <= q < 5
+
+    def test_data_avoids_both_parities(self):
+        layout = RaidLayout(RaidLevel.RAID6, 5, CHUNK)
+        for stripe in range(10):
+            data, parity = layout.stripe_members(stripe)
+            assert len(data) == 3
+            assert not set(data) & set(parity)
+
+
+class TestRangeMapping:
+    def test_aligned_range(self):
+        layout = RaidLayout(RaidLevel.RAID0, 2, CHUNK)
+        pieces = layout.chunks_for_range(0, 3 * CHUNK)
+        assert pieces == [(0, 0, CHUNK), (1, 0, CHUNK), (2, 0, CHUNK)]
+
+    def test_unaligned_range(self):
+        layout = RaidLayout(RaidLevel.RAID0, 2, CHUNK)
+        pieces = layout.chunks_for_range(CHUNK // 2, CHUNK)
+        assert pieces == [(0, CHUNK // 2, CHUNK // 2), (1, 0, CHUNK // 2)]
+
+    def test_range_total_preserved(self):
+        layout = RaidLayout(RaidLevel.RAID5, 5, CHUNK)
+        for offset, nbytes in [(0, 1), (100, 5000), (CHUNK - 1, 2),
+                               (7 * CHUNK + 3, 11 * CHUNK)]:
+            pieces = layout.chunks_for_range(offset, nbytes)
+            assert sum(p[2] for p in pieces) == nbytes
+
+    def test_empty_range(self):
+        layout = RaidLayout(RaidLevel.RAID0, 2, CHUNK)
+        assert layout.chunks_for_range(100, 0) == []
+
+    def test_negative_rejected(self):
+        layout = RaidLayout(RaidLevel.RAID0, 2, CHUNK)
+        with pytest.raises(ValueError):
+            layout.chunks_for_range(-1, 10)

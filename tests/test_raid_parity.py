@@ -1,0 +1,154 @@
+"""Parity math: unit tests plus hypothesis property tests on GF(256)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raid import (
+    gf_div,
+    gf_mul,
+    gf_mul_block,
+    gf_pow,
+    mirror_copies,
+    raid5_reconstruct,
+    raid6_pq,
+    raid6_recover_one_data,
+    raid6_recover_two_data,
+    xor_parity,
+)
+
+gf_elem = st.integers(min_value=0, max_value=255)
+gf_nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestGF256Field:
+    @given(gf_elem, gf_elem)
+    def test_mul_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(gf_elem, gf_elem, gf_elem)
+    def test_mul_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(gf_elem)
+    def test_identity_and_zero(self, a):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+    @given(gf_elem, gf_nonzero)
+    def test_div_inverts_mul(self, a, b):
+        assert gf_div(gf_mul(a, b), b) == a
+
+    @given(gf_elem, gf_elem, gf_elem)
+    def test_distributive_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_generator_has_full_order(self):
+        """g=2 generates the whole multiplicative group (order 255)."""
+        seen = set()
+        for e in range(255):
+            seen.add(gf_pow(2, e))
+        assert len(seen) == 255
+
+    @given(gf_elem, st.integers(min_value=0, max_value=300))
+    def test_pow_matches_repeated_mul(self, base, e):
+        expected = 1
+        for _ in range(e):
+            expected = gf_mul(expected, base)
+        assert gf_pow(base, e) == expected or (base == 0 and e > 0)
+
+    @given(st.binary(min_size=1, max_size=64), gf_elem)
+    def test_block_mul_matches_scalar(self, data, scalar):
+        block = np.frombuffer(data, dtype=np.uint8)
+        out = gf_mul_block(block, scalar)
+        assert [gf_mul(int(v), scalar) for v in block] == out.tolist()
+
+
+class TestXorParity:
+    def test_known_example(self):
+        p = xor_parity([b"\x0f\xf0", b"\xff\x00"])
+        assert p.tobytes() == b"\xf0\xf0"
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            xor_parity([b"ab", b"abc"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            xor_parity([])
+
+    @given(st.lists(st.binary(min_size=16, max_size=16), min_size=2, max_size=8))
+    def test_any_single_block_recoverable(self, blocks):
+        parity = xor_parity(blocks)
+        for missing in range(len(blocks)):
+            survivors = [b for i, b in enumerate(blocks) if i != missing]
+            rebuilt = raid5_reconstruct([*survivors, parity])
+            assert rebuilt.tobytes() == blocks[missing]
+
+
+class TestRaid6:
+    def _blocks(self, rng, count, size=32):
+        return [rng.integers(0, 256, size=size, dtype=np.uint8)
+                for _ in range(count)]
+
+    def test_pq_shapes(self):
+        rng = np.random.default_rng(0)
+        blocks = self._blocks(rng, 4)
+        p, q = raid6_pq(blocks)
+        assert p.shape == q.shape == blocks[0].shape
+        assert not np.array_equal(p, q)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_recover_one(self, count, seed):
+        rng = np.random.default_rng(seed)
+        blocks = self._blocks(rng, count)
+        p, _q = raid6_pq(blocks)
+        for missing in range(count):
+            holed = [b if i != missing else None for i, b in enumerate(blocks)]
+            rebuilt = raid6_recover_one_data(holed, p)
+            assert np.array_equal(rebuilt, blocks[missing])
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=3, max_value=8), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_recover_two(self, count, seed):
+        rng = np.random.default_rng(seed)
+        blocks = self._blocks(rng, count)
+        p, q = raid6_pq(blocks)
+        for x in range(count):
+            for y in range(x + 1, count):
+                holed = [b if i not in (x, y) else None
+                         for i, b in enumerate(blocks)]
+                dx, dy = raid6_recover_two_data(holed, p, q)
+                assert np.array_equal(dx, blocks[x])
+                assert np.array_equal(dy, blocks[y])
+
+    def test_recover_two_requires_two_holes(self):
+        rng = np.random.default_rng(1)
+        blocks = self._blocks(rng, 4)
+        p, q = raid6_pq(blocks)
+        with pytest.raises(ValueError):
+            raid6_recover_two_data(blocks, p, q)
+
+    def test_recover_one_requires_one_hole(self):
+        rng = np.random.default_rng(1)
+        blocks = self._blocks(rng, 4)
+        p, _q = raid6_pq(blocks)
+        with pytest.raises(ValueError):
+            raid6_recover_one_data([None, None, blocks[2], blocks[3]], p)
+
+
+def test_mirror_copies():
+    copies = mirror_copies(b"data", 3)
+    assert len(copies) == 3
+    assert all(c.tobytes() == b"data" for c in copies)
+    # Copies are independent buffers.
+    copies[0][0] = 0
+    assert copies[1].tobytes() == b"data"
+    with pytest.raises(ValueError):
+        mirror_copies(b"data", 0)

@@ -1,0 +1,191 @@
+"""Unit tests for fluid fair-share and FCFS link models."""
+
+import pytest
+
+from repro.sim import FairShareLink, FcfsLink, Simulator
+from repro.sim.units import gbps
+
+
+def test_fair_share_single_transfer_time():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=100.0)  # 100 B/s
+
+    def proc():
+        yield link.transfer(500.0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == pytest.approx(5.0)
+
+
+def test_fair_share_latency_added_after_drain():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=100.0, latency=2.0)
+
+    def proc():
+        yield link.transfer(100.0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == pytest.approx(3.0)
+
+
+def test_fair_share_two_equal_transfers_share_bandwidth():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=100.0)
+    done = []
+
+    def proc(tag):
+        yield link.transfer(100.0)
+        done.append((tag, sim.now))
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    # Each gets 50 B/s, both finish at t=2 (not t=1 and t=2).
+    assert done[0][1] == pytest.approx(2.0)
+    assert done[1][1] == pytest.approx(2.0)
+
+
+def test_fair_share_late_joiner_slows_first():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=100.0)
+    done = {}
+
+    def first():
+        yield link.transfer(100.0)
+        done["first"] = sim.now
+
+    def second():
+        yield sim.timeout(0.5)
+        yield link.transfer(100.0)
+        done["second"] = sim.now
+
+    sim.process(first())
+    sim.process(second())
+    sim.run()
+    # first: 50 B alone in 0.5s, then 50 B at 50 B/s -> finishes t=1.5
+    # second: shares until t=1.5 (has 50 left), then full rate -> t=2.0
+    assert done["first"] == pytest.approx(1.5)
+    assert done["second"] == pytest.approx(2.0)
+
+
+def test_fair_share_many_flows_aggregate_capacity():
+    """N concurrent flows of equal size all finish at N*size/B."""
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=1000.0)
+    finish = []
+
+    def proc():
+        yield link.transfer(100.0)
+        finish.append(sim.now)
+
+    n = 10
+    for _ in range(n):
+        sim.process(proc())
+    sim.run()
+    assert all(t == pytest.approx(1.0) for t in finish)
+    assert link.total_bytes == pytest.approx(1000.0)
+
+
+def test_fair_share_zero_byte_transfer():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=10.0, latency=1.0)
+
+    def proc():
+        yield link.transfer(0.0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == pytest.approx(1.0)
+
+
+def test_fair_share_negative_bytes_rejected():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=10.0)
+    with pytest.raises(ValueError):
+        link.transfer(-1.0)
+
+
+def test_fair_share_rejects_bad_bandwidth():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FairShareLink(sim, bandwidth=0.0)
+    with pytest.raises(ValueError):
+        FairShareLink(sim, bandwidth=10.0, latency=-1.0)
+
+
+def test_fair_share_utilization_tracks_busy_time():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=100.0)
+
+    def proc():
+        yield link.transfer(100.0)  # busy t in [0, 1]
+        yield sim.timeout(1.0)      # idle t in [1, 2]
+        yield link.transfer(100.0)  # busy t in [2, 3]
+
+    sim.process(proc())
+    sim.run()
+    assert link.mean_utilization() == pytest.approx(2.0 / 3.0)
+
+
+def test_fcfs_link_serializes_transfers():
+    sim = Simulator()
+    link = FcfsLink(sim, bandwidth=100.0)
+    done = {}
+
+    def proc(tag):
+        yield link.transfer(100.0)
+        done[tag] = sim.now
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert done["a"] == pytest.approx(1.0)
+    assert done["b"] == pytest.approx(2.0)
+
+
+def test_fcfs_link_latency_pipelines():
+    """Propagation latency does not hold the link busy."""
+    sim = Simulator()
+    link = FcfsLink(sim, bandwidth=100.0, latency=5.0)
+    done = {}
+
+    def proc(tag):
+        yield link.transfer(100.0)
+        done[tag] = sim.now
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert done["a"] == pytest.approx(6.0)
+    assert done["b"] == pytest.approx(7.0)
+
+
+def test_gbps_link_moves_a_gigabyte_in_eight_seconds():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=gbps(1))
+
+    def proc():
+        yield link.transfer(1e9)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == pytest.approx(8.0)
+
+
+def test_fair_share_total_bytes_accounting():
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=50.0)
+
+    def proc(n):
+        yield link.transfer(n)
+
+    sim.process(proc(30.0))
+    sim.process(proc(70.0))
+    sim.run()
+    assert link.total_bytes == pytest.approx(100.0)

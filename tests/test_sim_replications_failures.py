@@ -1,0 +1,123 @@
+"""Tests for replication statistics and cache backing-failure hardening."""
+
+import pytest
+
+from repro.cache import CacheCluster
+from repro.hardware import ControllerBlade, Disk, DiskFailedError
+from repro.sim import ReplicationSummary, Simulator, replicate, summarize
+from repro.sim.units import mib
+
+
+class TestReplicationStats:
+    def test_summarize_known_values(self):
+        s = summarize([10.0, 12.0, 11.0, 13.0, 9.0])
+        assert s.mean == pytest.approx(11.0)
+        assert s.n == 5
+        assert s.low < 11.0 < s.high
+        assert 0 < s.half_width < 3.0
+
+    def test_single_replication_infinite_interval(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.half_width == float("inf")
+
+    def test_identical_values_zero_width(self):
+        s = summarize([7.0, 7.0, 7.0])
+        assert s.half_width == 0.0
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert summarize(values, 0.99).half_width > \
+            summarize(values, 0.90).half_width
+
+    def test_replicate_runs_each_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return float(seed)
+
+        s = replicate(run, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert s.mean == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            replicate(lambda s: 0.0, [])
+
+    def test_str_format(self):
+        assert "±" in str(ReplicationSummary(1.0, 0.1, 3, 0.95))
+
+
+class TestCacheBackingFailures:
+    def make_cluster(self, sim, disk):
+        blades = [ControllerBlade(sim, i, cache_bytes=mib(1))
+                  for i in range(2)]
+
+        def backing_read(key, nbytes):
+            return disk.read(0, nbytes)
+
+        def backing_write(key, nbytes):
+            return disk.write(0, nbytes)
+
+        return CacheCluster(sim, blades, backing_read, backing_write,
+                            replication=1)
+
+    def test_miss_on_failed_backing_fails_cleanly(self):
+        sim = Simulator()
+        disk = Disk(sim, mib(64))
+        cluster = self.make_cluster(sim, disk)
+        disk.fail()
+        caught = []
+
+        def proc():
+            try:
+                yield cluster.read(0, ("v", 1))
+            except DiskFailedError:
+                caught.append(True)
+
+        sim.process(proc())
+        sim.run()
+        assert caught == [True]
+        assert cluster.metrics.counter("read.backing_errors").value == 1
+
+    def test_destage_to_failed_backing_requeues(self):
+        sim = Simulator()
+        disk = Disk(sim, mib(64))
+        cluster = self.make_cluster(sim, disk)
+
+        def proc():
+            yield cluster.write(0, ("v", 1))
+            disk.fail()
+            result = yield cluster.destage(("v", 1))
+            assert result is False
+            # Block is still dirty, still queued, nothing was lost.
+            assert cluster.directory.entry(("v", 1)).dirty
+            assert ("v", 1) in cluster._dirty_pending
+            disk.repair()
+            result = yield cluster.destage(("v", 1))
+            return result
+
+        p = sim.process(proc())
+        sim.run(until=p)
+        assert p.value is True
+        assert cluster.metrics.counter("destage.errors").value == 1
+
+    def test_write_path_unaffected_by_backing_failure(self):
+        """Write-back absorbs writes even while the farm is down."""
+        sim = Simulator()
+        disk = Disk(sim, mib(64))
+        cluster = self.make_cluster(sim, disk)
+        disk.fail()
+
+        def proc():
+            got = yield cluster.write(0, ("v", 2))
+            return got
+
+        p = sim.process(proc())
+        sim.run(until=p)
+        assert p.value == "cached"

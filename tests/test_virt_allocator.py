@@ -1,0 +1,135 @@
+"""Unit + property tests for pools and the refcounting allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.virt import AllocationError, Allocator, PageRef, StoragePool
+
+PAGE = 1024
+
+
+def make_allocator(pools=(("a", 10), ("b", 5))):
+    return Allocator([StoragePool(name, count * PAGE, PAGE)
+                      for name, count in pools])
+
+
+class TestStoragePool:
+    def test_allocate_free_cycle(self):
+        pool = StoragePool("p", 4 * PAGE, PAGE)
+        pages = [pool.allocate() for _ in range(4)]
+        assert len(set(pages)) == 4
+        assert pool.free_pages == 0
+        with pytest.raises(AllocationError):
+            pool.allocate()
+        pool.free(pages[0])
+        assert pool.free_pages == 1
+        assert pool.used_bytes == 3 * PAGE
+
+    def test_double_free_rejected(self):
+        pool = StoragePool("p", 2 * PAGE, PAGE)
+        page = pool.allocate()
+        pool.free(page)
+        with pytest.raises(ValueError):
+            pool.free(page)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoragePool("p", 10, PAGE)  # smaller than one page
+        with pytest.raises(ValueError):
+            StoragePool("p", PAGE, 0)
+
+
+class TestAllocator:
+    def test_allocates_from_most_free_pool(self):
+        alloc = make_allocator()
+        ref = alloc.allocate()
+        assert ref.pool == "a"  # 10 free > 5 free
+
+    def test_tier_filtering(self):
+        alloc = Allocator([StoragePool("fast", 4 * PAGE, PAGE, tier="fc"),
+                           StoragePool("old", 8 * PAGE, PAGE, tier="legacy")])
+        assert alloc.allocate(tier="fc").pool == "fast"
+        assert alloc.allocate(tier="legacy").pool == "old"
+        with pytest.raises(AllocationError):
+            alloc.allocate(tier="ssd")
+
+    def test_exhaustion(self):
+        alloc = make_allocator([("a", 2)])
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AllocationError):
+            alloc.allocate()
+
+    def test_refcounting_frees_at_zero(self):
+        alloc = make_allocator([("a", 2)])
+        ref = alloc.allocate()
+        alloc.incref(ref)
+        assert alloc.refcount(ref) == 2
+        alloc.decref(ref)
+        assert alloc.refcount(ref) == 1
+        assert alloc.pools["a"].used_pages == 1
+        alloc.decref(ref)
+        assert alloc.refcount(ref) == 0
+        assert alloc.pools["a"].used_pages == 0
+
+    def test_refcount_misuse_rejected(self):
+        alloc = make_allocator()
+        ghost = PageRef("a", 99)
+        with pytest.raises(ValueError):
+            alloc.incref(ghost)
+        with pytest.raises(ValueError):
+            alloc.decref(ghost)
+
+    def test_add_pool_validation(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.add_pool(StoragePool("a", 4 * PAGE, PAGE))  # dup name
+        with pytest.raises(ValueError):
+            alloc.add_pool(StoragePool("c", 4 * 2048, 2048))  # size mismatch
+
+    def test_capacity_accounting(self):
+        alloc = make_allocator()
+        assert alloc.capacity_bytes == 15 * PAGE
+        ref = alloc.allocate()
+        assert alloc.used_bytes == PAGE
+        assert alloc.free_bytes == 14 * PAGE
+        alloc.decref(ref)
+        assert alloc.used_bytes == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Allocator([])
+        with pytest.raises(ValueError):
+            Allocator([StoragePool("a", 4 * PAGE, PAGE),
+                       StoragePool("b", 4 * 2048, 2048)])
+        with pytest.raises(ValueError):
+            Allocator([StoragePool("a", 4 * PAGE, PAGE),
+                       StoragePool("a", 4 * PAGE, PAGE)])
+
+
+@settings(max_examples=50)
+@given(st.lists(st.sampled_from(["alloc", "incref", "decref"]),
+                min_size=1, max_size=200))
+def test_property_allocator_conserves_pages(ops):
+    """Live pages + free pages is invariant under any op sequence, and no
+    page is ever double-owned."""
+    alloc = make_allocator([("a", 8), ("b", 8)])
+    live: list[PageRef] = []
+    for op in ops:
+        if op == "alloc":
+            try:
+                live.append(alloc.allocate())
+            except AllocationError:
+                assert alloc.free_bytes == 0
+        elif op == "incref" and live:
+            alloc.incref(live[0])
+            live.append(live[0])
+        elif op == "decref" and live:
+            ref = live.pop()
+            alloc.decref(ref)
+        used_pages = sum(p.used_pages for p in alloc.pools.values())
+        free_pages = sum(p.free_pages for p in alloc.pools.values())
+        assert used_pages + free_pages == 16
+        assert used_pages == alloc.live_pages()
+        assert used_pages == len(set(live))

@@ -1,0 +1,86 @@
+"""Unit + integration tests for the HPC checkpoint workload."""
+
+import pytest
+
+from repro import NetStorageSystem, Simulator, SystemConfig
+from repro.sim import FairShareLink
+from repro.sim.units import mb_per_s, mib
+from repro.workloads import CheckpointWorkload
+
+
+def link_backed(sim, bandwidth):
+    link = FairShareLink(sim, bandwidth, name="burst")
+    return lambda rank, nbytes: link.transfer(nbytes)
+
+
+def test_rounds_and_accounting():
+    sim = Simulator()
+    wl = CheckpointWorkload(sim, link_backed(sim, mb_per_s(1000)),
+                            ranks=8, bytes_per_rank=mib(4),
+                            compute_time=10.0, checkpoints=3)
+    wl.run()
+    sim.run()
+    assert wl.checkpoint_times.count == 3
+    assert wl.total_compute == pytest.approx(30.0)
+    assert wl.finished_at > 30.0
+    assert 0.9 < wl.efficiency() < 1.0
+
+
+def test_checkpoint_time_matches_burst_bandwidth():
+    """8 ranks × 4 MiB through a 100 MB/s path ≈ 0.34 s per barrier."""
+    sim = Simulator()
+    wl = CheckpointWorkload(sim, link_backed(sim, mb_per_s(100)),
+                            ranks=8, bytes_per_rank=mib(4),
+                            compute_time=5.0, checkpoints=2)
+    wl.run()
+    sim.run()
+    expected = 8 * mib(4) / mb_per_s(100)
+    assert wl.checkpoint_times.mean() == pytest.approx(expected, rel=0.05)
+
+
+def test_slower_storage_hurts_efficiency():
+    def efficiency(bandwidth):
+        sim = Simulator()
+        wl = CheckpointWorkload(sim, link_backed(sim, bandwidth),
+                                ranks=16, bytes_per_rank=mib(8),
+                                compute_time=5.0, checkpoints=3)
+        wl.run()
+        sim.run()
+        return wl.efficiency()
+
+    assert efficiency(mb_per_s(2000)) > efficiency(mb_per_s(100))
+
+
+def test_against_full_netstorage_stack():
+    """Checkpoint bursts absorbed by the write-back cache: the barrier
+    costs cache-absorb time, not disk time."""
+    sim = Simulator()
+    system = NetStorageSystem(sim, SystemConfig(
+        blade_count=4, disk_count=12, disk_capacity=mib(128),
+        cache_bytes_per_blade=mib(32), replication=2))
+    system.start()
+    for rank in range(8):
+        system.create(f"/ckpt/rank{rank}")
+
+    def write(rank, nbytes):
+        inode = system.pfs.open(f"/ckpt/rank{rank}")
+        return system.write(f"/ckpt/rank{rank}", inode.size, nbytes)
+
+    wl = CheckpointWorkload(sim, write, ranks=8, bytes_per_rank=mib(2),
+                            compute_time=2.0, checkpoints=3)
+    wl.run()
+    sim.run(until=60.0)
+    assert wl.checkpoint_times.count == 3
+    # Write-back absorb: barriers complete in well under a second.
+    assert wl.checkpoint_times.mean() < 0.5
+    assert wl.efficiency() > 0.9
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CheckpointWorkload(sim, lambda r, n: sim.timeout(0), ranks=0,
+                           bytes_per_rank=1, compute_time=1, checkpoints=1)
+    with pytest.raises(ValueError):
+        CheckpointWorkload(sim, lambda r, n: sim.timeout(0), ranks=1,
+                           bytes_per_rank=0, compute_time=1, checkpoints=1)
