@@ -14,7 +14,8 @@ from _common import BLOCK, FarmFeed, make_cache_cluster, run_one
 
 from repro.baseline import IslandFarm, StorageIsland
 from repro.cluster import ClusterMembership, LoadBalancer
-from repro.core import format_table, print_experiment
+from repro.core import format_latency_breakdown, format_table, print_experiment
+from repro.obs import enable as enable_obs
 from repro.sim import Simulator
 from repro.sim.units import mib
 from repro.workloads import aggregate_throughput, run_client_fleet
@@ -110,6 +111,57 @@ def test_e02b_webfarm_replication_costs(benchmark):
     assert by_servers[32][1] == 16 * by_servers[2][1]
     assert by_servers[32][2] == by_servers[2][2]
     assert by_servers[32][5] > by_servers[2][5]
+
+
+def test_e02c_observability_breakdown(benchmark):
+    """The observability layer attributes E2's time: per-stage latency
+    breakdown from the tracer, plus the management plane's per-blade
+    health and cache hit ratio — the visibility §6 says fault tolerance
+    requires."""
+
+    def run():
+        sim = Simulator()
+        obs = enable_obs(sim)
+        cluster = make_cache_cluster(sim, 4, replication=1,
+                                     farm=FarmFeed(sim, bandwidth=1.2e9))
+        cluster.register_health(obs.mgmt)
+        membership = ClusterMembership(sim, list(cluster.blades.values()))
+        balancer = LoadBalancer(membership)
+
+        def make_issue(client):
+            def issue(block):
+                blade = balancer.pick()
+                balancer.start(blade)
+                ev = cluster.read(blade, ("shared", client, block))
+                ev.add_callback(lambda _e: balancer.finish(blade))
+                return ev
+            return issue
+
+        run_client_fleet(sim, CLIENTS, make_issue, BLOCKS_PER_CLIENT,
+                         BLOCK, window=16)
+        sim.run()
+        return obs, cluster
+
+    obs, cluster = run_one(benchmark, run)
+    breakdown = obs.tracer.breakdown()
+    print_experiment(
+        "E2c (obs)",
+        "where 16 clients' time went on a 4-blade cluster",
+        format_latency_breakdown(breakdown))
+    print(obs.mgmt.status_report())
+    # The tracer saw every read and attributed the stages under it.
+    assert breakdown["cache.read"]["count"] == CLIENTS * BLOCKS_PER_CLIENT
+    assert breakdown["blade.cpu"]["count"] == CLIENTS * BLOCKS_PER_CLIENT
+    assert breakdown["backing.read"]["count"] > 0
+    assert not obs.tracer.nesting_violations()
+    # The management plane reports every blade plus the pooled cache.
+    snapshot = obs.mgmt.poll()
+    for blade in cluster.blades.values():
+        assert snapshot[blade.name].state.value == "up"
+    pool_health = snapshot["cache.pool"]
+    assert pool_health.metrics["hit_ratio"] == cluster.hit_ratio()
+    assert 0.0 <= pool_health.metrics["hit_ratio"] <= 1.0
+    assert 'component="cache.pool"' in obs.mgmt.to_prometheus()
 
 
 def test_e02_aggregate_throughput_scaling(benchmark):

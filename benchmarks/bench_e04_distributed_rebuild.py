@@ -13,7 +13,8 @@ mid-rebuild controller failure.
 
 from _common import run_one
 
-from repro.core import format_table, print_experiment
+from repro.core import format_latency_breakdown, format_table, print_experiment
+from repro.obs import Severity, enable as enable_obs
 from repro.hardware import ControllerBlade, make_disk_farm
 from repro.raid import (
     DeclusteredPool,
@@ -78,6 +79,42 @@ def test_e04a_rebuild_scales_with_controllers(benchmark):
     times = {r[0]: r[1] for r in rows}
     assert times[4] < 0.45 * times[1]   # near-linear early scaling
     assert times[8] <= times[4]         # still monotone
+
+
+def test_e04e_rebuild_stage_breakdown(benchmark):
+    """Observability over a rebuild: per-region latency attribution, ETA
+    telemetry in the event log, and the rebuild completion record §6.3's
+    operator would watch on the management network."""
+
+    def run():
+        sim = Simulator()
+        obs = enable_obs(sim)
+        pool = make_pool(sim)
+        job = DeclusteredRebuildJob(pool, 0, region_stripes=8)
+        DeclusteredRebuildEngine(sim, io_priority=10.0).start(job, workers=4)
+        sim.run(until=600.0)
+        assert job.done
+        return obs, job
+
+    obs, job = run_one(benchmark, run)
+    print_experiment(
+        "E4e (obs)",
+        "4-worker declustered rebuild: per-stage latency breakdown",
+        format_latency_breakdown(obs.tracer.breakdown()))
+    progress = obs.log.records(component="raid.drebuild", kind="region_done")
+    completed = obs.log.records(component="raid.drebuild",
+                                kind="rebuild_completed")
+    print(obs.log.render(min_severity=Severity.INFO))
+    # One span per checked-out region; every region logged its ETA.
+    regions = obs.tracer.breakdown()["raid.drebuild.region"]
+    assert regions["count"] == len(progress)
+    assert len(completed) == 1
+    assert dict(completed[0].attrs)["stripes"] == job.total
+    # ETAs shrink to zero as the queue drains (monotone progress counts).
+    counts = [dict(r.attrs)["completed"] for r in progress]
+    assert counts == sorted(counts)
+    assert job.eta(0.0) == 0.0  # done => eta 0 regardless of clock
+    assert not obs.tracer.nesting_violations()
 
 
 def test_e04b_rebuild_does_not_impede_foreground(benchmark):

@@ -15,8 +15,14 @@ blade to fetch from), keeping protocol decisions testable in isolation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from .block_cache import BlockKey
+
+#: Observer signature: ``(kind, key, detail)`` — e.g.
+#: ``("invalidate", key, victims)`` or ``("remote_fetch", key, source)``.
+#: The directory is sim-agnostic, so timestamping is the observer's job.
+DirectoryObserver = Callable[[str, BlockKey, Any], None]
 
 
 @dataclass
@@ -48,10 +54,11 @@ class CoherenceActions:
 class Directory:
     """The cluster-wide block directory (MSI-style, with replica pins)."""
 
-    def __init__(self) -> None:
+    def __init__(self, observer: DirectoryObserver | None = None) -> None:
         self._entries: dict[BlockKey, DirEntry] = {}
         self.invalidations_sent = 0
         self.remote_fetches = 0
+        self.observer = observer
 
     def entry(self, key: BlockKey) -> DirEntry | None:
         """The directory record for a key, or None if untracked."""
@@ -78,12 +85,16 @@ class Directory:
                                        writeback_from=entry.owner)
             entry.sharers.add(blade)
             self.remote_fetches += 1
+            if self.observer is not None:
+                self.observer("remote_fetch", key, entry.owner)
             return actions
         holders = entry.holders() - {blade}
         if holders:
             source = min(holders)  # deterministic choice
             entry.sharers.add(blade)
             self.remote_fetches += 1
+            if self.observer is not None:
+                self.observer("remote_fetch", key, source)
             return CoherenceActions(fetch_from=source)
         entry.sharers.add(blade)
         return CoherenceActions()
@@ -96,6 +107,8 @@ class Directory:
         if entry.owner is not None and entry.owner != blade:
             fetch = entry.owner
         self.invalidations_sent += len(victims)
+        if victims and self.observer is not None:
+            self.observer("invalidate", key, victims)
         entry.sharers.clear()
         entry.replica_holders.clear()
         entry.owner = blade

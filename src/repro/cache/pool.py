@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from ..hardware.blade import ControllerBlade
+from ..obs.telemetry import ComponentHealth, HealthState
+from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
 from ..sim.link import FairShareLink
 from ..sim.resources import Store
@@ -23,6 +25,8 @@ from .block_cache import BlockCache, BlockKey, BlockState
 from .coherence import Directory
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
+    from ..obs.telemetry import ManagementPlane
     from ..sim.engine import Simulator
 
 #: Effective memory-copy bandwidth for a cache hit (controller DRAM).
@@ -85,6 +89,29 @@ class CacheCluster:
     def _hit_time(self) -> float:
         return self.block_size / _CACHE_COPY_RATE + us(5)
 
+    def _obs(self) -> "Observability | None":
+        """The sim's observability bundle, wiring the coherence directory's
+        observer into the event log on first use.
+
+        Hot paths read ``self.sim.obs`` directly and only fall through to
+        this method when observability is on, keeping the disabled path to
+        a single attribute test.
+        """
+        obs = self.sim.obs
+        if obs is not None and self.directory.observer is None:
+            log = obs.log
+
+            def watch(kind: str, key: BlockKey, detail) -> None:
+                if kind == "invalidate":
+                    log.debug("cache.coherence", "invalidate",
+                              key=str(key), victims=len(detail))
+                else:
+                    log.debug("cache.coherence", kind,
+                              key=str(key), source=detail)
+
+            self.directory.observer = watch
+        return obs
+
     def live_blades(self) -> list[int]:
         """Blade ids currently UP, in stable order."""
         return sorted(bid for bid, b in self.blades.items() if b.is_up)
@@ -105,94 +132,126 @@ class CacheCluster:
 
     # -- read path ------------------------------------------------------------------
 
-    def read(self, blade_id: int, key: BlockKey, priority: int = 0) -> Event:
+    def read(self, blade_id: int, key: BlockKey, priority: int = 0,
+             parent=None) -> Event:
         """Read one block through ``blade_id``; event value is the source
-        tier: ``"local"``, ``"remote"`` or ``"disk"``."""
+        tier: ``"local"``, ``"remote"`` or ``"disk"``.  ``parent`` is an
+        optional tracing span to nest under (request-following)."""
         done = Event(self.sim)
-        self.sim.process(self._read(blade_id, key, priority, done),
+        self.sim.process(self._read(blade_id, key, priority, done, parent),
                          name="cache.read")
         return done
 
-    def _read(self, blade_id: int, key: BlockKey, priority: int, done: Event):
-        blade = self.blades[blade_id]
-        cache = self.caches[blade_id]
-        yield from blade.execute(blade.io_cpu_cost(self.block_size))
-        if cache.lookup(key) is not None:
-            self.metrics.counter("read.local_hit").incr()
-            yield self.sim.timeout(self._hit_time())
-            done.succeed("local")
-            return
-        actions = self.directory.acquire_shared(blade_id, key)
-        source = actions.fetch_from
-        if source is not None and source in self.blades \
-                and self.blades[source].is_up:
-            # Peer-cache transfer: far faster than a disk access.
-            self.metrics.counter("read.remote_hit").incr()
-            yield self.interconnect.transfer(self.block_size)
+    def _read(self, blade_id: int, key: BlockKey, priority: int, done: Event,
+              parent=None):
+        obs = self._obs() if self.sim.obs is not None else None
+        span = (obs.tracer.span("cache.read", parent=parent, blade=blade_id)
+                if obs is not None else NULL_SPAN)
+        with span:
+            blade = self.blades[blade_id]
+            cache = self.caches[blade_id]
+            with span.child("blade.cpu"):
+                yield from blade.execute(blade.io_cpu_cost(self.block_size))
+            if cache.lookup(key) is not None:
+                self.metrics.counter("read.local_hit").incr()
+                span.annotate(tier="local")
+                yield self.sim.timeout(self._hit_time())
+                done.succeed("local")
+                return
+            actions = self.directory.acquire_shared(blade_id, key)
+            source = actions.fetch_from
+            if source is not None and source in self.blades \
+                    and self.blades[source].is_up:
+                # Peer-cache transfer: far faster than a disk access.
+                self.metrics.counter("read.remote_hit").incr()
+                span.annotate(tier="remote", source=source)
+                with span.child("cache.peer_fetch", source=source):
+                    yield self.interconnect.transfer(self.block_size)
+                cache.insert(key, BlockState.SHARED, priority, self.sim.now)
+                done.succeed("remote")
+                return
+            self.metrics.counter("read.miss").incr()
+            span.annotate(tier="disk")
+            try:
+                with span.child("backing.read"):
+                    yield self.backing_read(key, self.block_size)
+            except Exception as exc:
+                self.metrics.counter("read.backing_errors").incr()
+                if obs is not None:
+                    obs.log.error("cache.pool", "backing_read_failed",
+                                  key=str(key), blade=blade_id)
+                done.fail(exc)
+                return
             cache.insert(key, BlockState.SHARED, priority, self.sim.now)
-            done.succeed("remote")
-            return
-        self.metrics.counter("read.miss").incr()
-        try:
-            yield self.backing_read(key, self.block_size)
-        except Exception as exc:
-            self.metrics.counter("read.backing_errors").incr()
-            done.fail(exc)
-            return
-        cache.insert(key, BlockState.SHARED, priority, self.sim.now)
-        done.succeed("disk")
+            done.succeed("disk")
 
     # -- write path ------------------------------------------------------------------
 
     def write(self, blade_id: int, key: BlockKey,
-              replicas: int | None = None, priority: int = 0) -> Event:
+              replicas: int | None = None, priority: int = 0,
+              parent=None) -> Event:
         """Write-back one block through ``blade_id`` with N-way replication.
 
         The event fires when the data is *safe* (owner + N−1 replicas in
         cache), not when it reaches disk — that's the destager's job.
+        ``parent`` is an optional tracing span to nest under.
         """
         done = Event(self.sim)
-        self.sim.process(self._write(blade_id, key, replicas, priority, done),
+        self.sim.process(self._write(blade_id, key, replicas, priority, done,
+                                     parent),
                          name="cache.write")
         return done
 
     def _write(self, blade_id: int, key: BlockKey, replicas: int | None,
-               priority: int, done: Event):
+               priority: int, done: Event, parent=None):
         n = self.replication if replicas is None else replicas
         if n < 1:
             done.fail(ValueError("replicas must be >= 1"))
             return
-        blade = self.blades[blade_id]
-        cache = self.caches[blade_id]
-        yield from blade.execute(blade.io_cpu_cost(self.block_size))
-        actions = self.directory.acquire_exclusive(blade_id, key)
-        if actions.invalidate:
-            # One round of invalidation messages, in parallel.
-            self.metrics.counter("coherence.invalidations").incr(
-                len(actions.invalidate))
-            for victim in actions.invalidate:
-                if victim in self.caches:
-                    self.caches[victim].drop(key)
-            yield self.sim.timeout(self.interconnect.latency)
-        yield self.sim.timeout(self._hit_time())
-        cache.insert(key, BlockState.MODIFIED, priority, self.sim.now)
-        if n > 1:
-            try:
-                targets = self.pick_replica_targets(blade_id, n - 1)
-            except ReplicationError as exc:
-                done.fail(exc)
-                return
-            transfers = [self.interconnect.transfer(self.block_size)
-                         for _ in targets]
-            yield self.sim.all_of(transfers)
-            for target in targets:
-                self.caches[target].insert(key, BlockState.REPLICA,
-                                           priority, self.sim.now)
-            self.directory.register_replicas(key, set(targets))
-            self.metrics.counter("write.replicas_placed").incr(len(targets))
-        self._enqueue_dirty(key)
-        self.metrics.counter("write.absorbed").incr()
-        done.succeed("cached")
+        obs = self._obs() if self.sim.obs is not None else None
+        span = (obs.tracer.span("cache.write", parent=parent,
+                                blade=blade_id, replicas=n)
+                if obs is not None else NULL_SPAN)
+        with span:
+            blade = self.blades[blade_id]
+            cache = self.caches[blade_id]
+            with span.child("blade.cpu"):
+                yield from blade.execute(blade.io_cpu_cost(self.block_size))
+            actions = self.directory.acquire_exclusive(blade_id, key)
+            if actions.invalidate:
+                # One round of invalidation messages, in parallel.
+                self.metrics.counter("coherence.invalidations").incr(
+                    len(actions.invalidate))
+                for victim in actions.invalidate:
+                    if victim in self.caches:
+                        self.caches[victim].drop(key)
+                with span.child("coherence.invalidate",
+                                victims=len(actions.invalidate)):
+                    yield self.sim.timeout(self.interconnect.latency)
+            yield self.sim.timeout(self._hit_time())
+            cache.insert(key, BlockState.MODIFIED, priority, self.sim.now)
+            if n > 1:
+                try:
+                    targets = self.pick_replica_targets(blade_id, n - 1)
+                except ReplicationError as exc:
+                    if obs is not None:
+                        obs.log.error("cache.pool", "replication_failed",
+                                      key=str(key), wanted=n - 1,
+                                      live=len(self.live_blades()))
+                    done.fail(exc)
+                    return
+                transfers = [self.interconnect.transfer(self.block_size)
+                             for _ in targets]
+                with span.child("cache.replicate", targets=len(targets)):
+                    yield self.sim.all_of(transfers)
+                for target in targets:
+                    self.caches[target].insert(key, BlockState.REPLICA,
+                                               priority, self.sim.now)
+                self.directory.register_replicas(key, set(targets))
+                self.metrics.counter("write.replicas_placed").incr(len(targets))
+            self._enqueue_dirty(key)
+            self.metrics.counter("write.absorbed").incr()
+            done.succeed("cached")
 
     # -- destage ---------------------------------------------------------------------
 
@@ -207,12 +266,18 @@ class CacheCluster:
         if entry is None or not entry.dirty:
             done.succeed(False)
             return
+        obs = self._obs() if self.sim.obs is not None else None
+        span = (obs.tracer.span("cache.destage")
+                if obs is not None else NULL_SPAN)
         try:
-            yield self.backing_write(key, self.block_size)
+            with span, span.child("backing.write"):
+                yield self.backing_write(key, self.block_size)
         except Exception:
             # Destage target failed (disk rebuild pending): keep the block
             # dirty and pinned; retry on a later pass.
             self.metrics.counter("destage.errors").incr()
+            if obs is not None:
+                obs.log.warning("cache.pool", "destage_retry", key=str(key))
             self._enqueue_dirty(key)
             done.succeed(False)
             return
@@ -292,4 +357,47 @@ class CacheCluster:
         self.lost_dirty_blocks.extend(lost)
         self.metrics.counter("failure.salvaged").incr(len(salvaged))
         self.metrics.counter("failure.lost").incr(len(lost))
+        obs = self._obs() if self.sim.obs is not None else None
+        if obs is not None:
+            if lost:
+                obs.log.critical("cache.pool", "dirty_data_lost",
+                                 blade=blade_id, lost=len(lost),
+                                 salvaged=len(salvaged))
+            else:
+                obs.log.error("cache.pool", "blade_cache_lost",
+                              blade=blade_id, salvaged=len(salvaged))
         return len(salvaged), len(lost)
+
+    # -- health ------------------------------------------------------------------------
+
+    def hit_ratio(self) -> float:
+        """Fraction of reads served from cache (local or peer); 1.0 when
+        no reads have happened yet."""
+        hits = (self.metrics.counter("read.local_hit").value
+                + self.metrics.counter("read.remote_hit").value)
+        total = hits + self.metrics.counter("read.miss").value
+        return hits / total if total else 1.0
+
+    def health(self) -> ComponentHealth:
+        """Pool-level health for the management plane."""
+        live = len(self.live_blades())
+        total = len(self.blades)
+        if live == 0:
+            state = HealthState.FAILED
+        elif live < total or self.lost_dirty_blocks:
+            state = HealthState.DEGRADED
+        else:
+            state = HealthState.UP
+        return ComponentHealth("cache.pool", state, metrics={
+            "hit_ratio": self.hit_ratio(),
+            "live_blades": float(live),
+            "cached_blocks": float(sum(len(c) for c in self.caches.values())),
+            "dirty_blocks": float(len(self._dirty_pending)),
+            "lost_dirty_blocks": float(len(self.lost_dirty_blocks)),
+        }, detail=f"{live}/{total} blades up")
+
+    def register_health(self, mgmt: "ManagementPlane") -> None:
+        """Register the pool plus every member blade with ``mgmt``."""
+        mgmt.register("cache.pool", self.health)
+        for _bid, blade in sorted(self.blades.items()):
+            mgmt.register(blade.name, blade.health)

@@ -2,7 +2,7 @@
 
 from .admin import AdminAction, AutoPolicyEngine, idle_demotion_rule, scratch_cleanup_rule
 from .config import SystemConfig
-from .report import format_table, print_experiment
+from .report import format_latency_breakdown, format_table, print_experiment
 from .system import NetStorageSystem
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "AutoPolicyEngine",
     "NetStorageSystem",
     "SystemConfig",
+    "format_latency_breakdown",
     "format_table",
     "idle_demotion_rule",
     "print_experiment",

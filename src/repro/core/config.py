@@ -29,6 +29,10 @@ class SystemConfig:
     security_hardened: bool = True
     policy_limits: PolicyLimits = field(default_factory=PolicyLimits)
     name: str = "netstorage"
+    #: Attach tracing + event log + management-plane telemetry at build
+    #: time (see repro.obs).  Off by default: the data path then pays only
+    #: a per-operation ``sim.obs is None`` test.
+    observability: bool = False
 
     def __post_init__(self) -> None:
         if self.blade_count < 1:

@@ -59,3 +59,23 @@ def print_experiment(exp_id: str, claim: str, table: str) -> None:
     print(banner)
     print(table)
     print("=" * len(banner))
+
+
+def format_latency_breakdown(breakdown: dict[str, dict[str, float]],
+                             title: str = "per-stage latency breakdown"
+                             ) -> str:
+    """Render a tracer breakdown (``Tracer.breakdown()``) as a table.
+
+    Stages sort by total simulated time spent, descending — the attribution
+    view: which stage of the request path the run's time went to.
+    """
+    rows = []
+    for name in sorted(breakdown,
+                       key=lambda n: (-breakdown[n]["total_s"], n)):
+        agg = breakdown[name]
+        rows.append([name, int(agg["count"]),
+                     round(agg["total_s"] * 1000, 3),
+                     round(agg["mean_s"] * 1000, 4),
+                     round(agg["max_s"] * 1000, 4)])
+    return format_table(["stage", "count", "total ms", "mean ms", "max ms"],
+                        rows, title=title)

@@ -18,6 +18,9 @@ from typing import TYPE_CHECKING
 from ..cache.pool import CacheCluster
 from ..cluster.cluster import ControllerCluster
 from ..fs.pfs import ParallelFileSystem
+from ..obs import Observability
+from ..obs.telemetry import ComponentHealth, HealthState
+from ..obs.tracer import NULL_SPAN
 from ..fs.policies import DEFAULT_POLICY, FilePolicy
 from ..hardware.blade import ControllerBlade
 from ..hardware.disk import make_disk_farm
@@ -86,6 +89,11 @@ class NetStorageSystem:
         self._raw_recent: list = []
         self._raw_cursor = 0
 
+        # Observability: the Fig. 2 management plane plus tracing/events.
+        self.obs: Observability | None = None
+        if cfg.observability:
+            self.enable_observability()
+
     # -- lifecycle ------------------------------------------------------------------
 
     def start(self) -> None:
@@ -93,6 +101,61 @@ class NetStorageSystem:
         if not self._started:
             self.cache.start_destager()
             self._started = True
+
+    # -- observability -----------------------------------------------------------------
+
+    def enable_observability(self, **kwargs) -> Observability:
+        """Attach tracing, the event log, and the management plane.
+
+        Registers health probes for every blade, the pooled cache, the
+        cluster, and the disk farm, so ``self.obs.mgmt.status_report()``
+        is the single-system-image view of the installation.
+        """
+        if self.obs is not None:
+            return self.obs
+        obs = Observability(self.sim, **kwargs)
+        self.sim.obs = obs
+        self.obs = obs
+        self.cache.register_health(obs.mgmt)
+        obs.mgmt.register("cluster", self._cluster_health)
+        obs.mgmt.register("raid.pool", self._pool_health)
+        return obs
+
+    def _cluster_health(self) -> ComponentHealth:
+        live = len(self.cluster.membership.live())
+        total = len(self.cluster.blades)
+        if live == 0:
+            state = HealthState.FAILED
+        elif live < total:
+            state = HealthState.DEGRADED
+        else:
+            state = HealthState.UP
+        return ComponentHealth("cluster", state, metrics={
+            "live_blades": float(live),
+            "availability": self.cluster.service_availability(),
+            "balancer_imbalance": self.cluster.balancer.imbalance(),
+        }, detail=f"{live}/{total} blades live")
+
+    def _pool_health(self) -> ComponentHealth:
+        failed = len(self.pool.failed)
+        state = HealthState.DEGRADED if failed else HealthState.UP
+        return ComponentHealth("raid.pool", state, metrics={
+            "disks": float(len(self.pool.disks)),
+            "failed_disks": float(failed),
+            "capacity_bytes": float(self.pool.capacity),
+        }, detail=f"{failed} failed disks" if failed else "")
+
+    def telemetry_report(self) -> str:
+        """The management plane's status table (requires observability)."""
+        if self.obs is None:
+            raise RuntimeError("enable_observability() first")
+        return self.obs.mgmt.status_report()
+
+    def trace_json(self, indent: int | None = None) -> str:
+        """The Chrome trace of everything recorded so far."""
+        if self.obs is None:
+            raise RuntimeError("enable_observability() first")
+        return self.obs.tracer.to_json(indent=indent)
 
     # -- backing store hooks (cache miss / destage) -------------------------------------
 
@@ -147,43 +210,49 @@ class NetStorageSystem:
 
     def _client_io(self, path: str, offset: int, nbytes: int, op: str,
                    done: Event):
-        try:
-            inode = self.pfs.open(path)
-        except Exception as exc:
-            done.fail(exc)
-            return
-        policy = inode.policy
-        if op == "write":
-            self.pfs.write(path, offset, nbytes, now=self.sim.now)
-        blocks = self.pfs.blocks_for_range(offset, nbytes)
-        pending: list[Event] = []
-        for block in blocks:
-            key = self.pfs.block_key(inode, block)
-            blade_id = self.pfs.blade_for_block(inode, block)
-            if not self.cluster.blades[blade_id].is_up:
-                # Striping says blade X, but the cluster reroutes around
-                # failures: any controller can reach any block (§2.3).
-                blade_id = self.cluster.balancer.pick()
-            self.cluster.balancer.start(blade_id)
+        obs = self.sim.obs
+        span = (obs.tracer.span(f"client.{op}", path=path, nbytes=nbytes)
+                if obs is not None else NULL_SPAN)
+        with span:
+            try:
+                inode = self.pfs.open(path)
+            except Exception as exc:
+                done.fail(exc)
+                return
+            policy = inode.policy
             if op == "write":
-                ev = self.cache.write(blade_id, key,
-                                      replicas=policy.write_fault_tolerance,
-                                      priority=policy.cache_priority)
-            else:
-                ev = self.cache.read(blade_id, key,
-                                     priority=policy.cache_priority)
-            ev.add_callback(
-                lambda _e, b=blade_id: self.cluster.balancer.finish(b))
-            pending.append(ev)
-        if not pending:
-            done.succeed(0)
-            return
-        try:
-            yield self.sim.all_of(pending)
-        except Exception as exc:
-            done.fail(exc)
-            return
-        done.succeed(nbytes)
+                self.pfs.write(path, offset, nbytes, now=self.sim.now)
+            blocks = self.pfs.blocks_for_range(offset, nbytes)
+            pending: list[Event] = []
+            for block in blocks:
+                key = self.pfs.block_key(inode, block)
+                blade_id = self.pfs.blade_for_block(inode, block)
+                if not self.cluster.blades[blade_id].is_up:
+                    # Striping says blade X, but the cluster reroutes around
+                    # failures: any controller can reach any block (§2.3).
+                    blade_id = self.cluster.balancer.pick()
+                self.cluster.balancer.start(blade_id)
+                if op == "write":
+                    ev = self.cache.write(blade_id, key,
+                                          replicas=policy.write_fault_tolerance,
+                                          priority=policy.cache_priority,
+                                          parent=span)
+                else:
+                    ev = self.cache.read(blade_id, key,
+                                         priority=policy.cache_priority,
+                                         parent=span)
+                ev.add_callback(
+                    lambda _e, b=blade_id: self.cluster.balancer.finish(b))
+                pending.append(ev)
+            if not pending:
+                done.succeed(0)
+                return
+            try:
+                yield self.sim.all_of(pending)
+            except Exception as exc:
+                done.fail(exc)
+                return
+            done.succeed(nbytes)
 
     # -- anonymous bulk I/O (geo staging / replication ingest) ---------------------------------
 
@@ -270,6 +339,18 @@ class NetStorageSystem:
         self.pool.mark_failed(disk_index)
         job = DeclusteredRebuildJob(self.pool, disk_index)
         self.cluster.rebuild_coordinator.start(job)
+        if self.obs is not None:
+            component = f"rebuild.disk{disk_index}"
+
+            def probe() -> ComponentHealth:
+                state = HealthState.UP if job.done else HealthState.DEGRADED
+                eta = job.eta(self.sim.now)
+                return ComponentHealth(component, state, metrics={
+                    "progress": job.progress,
+                    "eta_s": -1.0 if eta is None else eta,
+                }, detail="rebuilt" if job.done else "rebuilding")
+
+            self.obs.mgmt.register(component, probe)
         return job
 
     def report(self) -> dict[str, float]:

@@ -19,6 +19,9 @@ class InodeType(Enum):
     DIRECTORY = "directory"
 
 
+#: Fallback numbering for inodes built outside a Namespace (unit tests);
+#: Namespace assigns from its own per-instance counter so that identical
+#: runs in one process get identical inode numbers (trace determinism).
 _inode_counter = count(1)
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from itertools import count
+
 from .metadata import Inode, InodeType
 from .policies import DEFAULT_POLICY, FilePolicy
 
@@ -21,7 +23,11 @@ class Namespace:
     """A POSIX-ish tree of directories and files."""
 
     def __init__(self) -> None:
-        self.root = Inode(InodeType.DIRECTORY, "/")
+        # Per-namespace numbering: two identical runs in one process get
+        # identical inode numbers, which striping (ino % blades) and the
+        # trace exporter depend on for byte-identical replays.
+        self._ino = count(1)
+        self.root = Inode(InodeType.DIRECTORY, "/", ino=next(self._ino))
 
     # -- lookup -----------------------------------------------------------------
 
@@ -63,7 +69,8 @@ class Namespace:
         parent, name = self.parent_of(path)
         if name in parent.children:
             raise FsError(f"already exists: {path!r}")
-        node = Inode(InodeType.DIRECTORY, name, owner=owner)
+        node = Inode(InodeType.DIRECTORY, name, owner=owner,
+                     ino=next(self._ino))
         parent.children[name] = node
         return node
 
@@ -73,7 +80,8 @@ class Namespace:
         for part in split_path(path):
             child = node.children.get(part)
             if child is None:
-                child = Inode(InodeType.DIRECTORY, part, owner=owner)
+                child = Inode(InodeType.DIRECTORY, part, owner=owner,
+                              ino=next(self._ino))
                 node.children[part] = child
             elif not child.is_dir:
                 raise FsError(f"{part!r} exists and is not a directory")
@@ -87,7 +95,7 @@ class Namespace:
         if name in parent.children:
             raise FsError(f"already exists: {path!r}")
         node = Inode(InodeType.FILE, name, policy=policy, owner=owner,
-                     created_at=now, modified_at=now)
+                     created_at=now, modified_at=now, ino=next(self._ino))
         parent.children[name] = node
         return node
 

@@ -17,12 +17,15 @@ from collections import defaultdict
 from typing import TYPE_CHECKING
 
 from ..fs.policies import FilePolicy, ReplicationMode
+from ..obs.telemetry import ComponentHealth, HealthState
+from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
 from ..sim.stats import MetricSet
 from .site import Site
 from .wan import NoRouteError, WanNetwork
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.telemetry import ManagementPlane
     from ..sim.engine import Simulator
 
 
@@ -50,6 +53,10 @@ class GeoReplicator:
         self.async_backlog: dict[tuple[str, str], int] = defaultdict(int)
         self.metrics = MetricSet(sim)
         self._pump_running: set[str] = set()
+        #: Backlog per target above which the event log gets a WARNING
+        #: (replication lag = the RPO exposure the operator must watch).
+        self.backlog_warn_bytes = 64 * 1024 * 1024
+        self._lag_alerted: set[str] = set()
 
     # -- registration ----------------------------------------------------------------
 
@@ -97,46 +104,85 @@ class GeoReplicator:
         gf = self.files[path]
         origin = self.network.sites[gf.home]
         start = self.sim.now
-        try:
-            yield origin.store_write(nbytes)
-        except Exception as exc:  # site down
-            done.fail(exc)
-            return
-        gf.size += nbytes
-        targets = self.replica_targets(gf, origin)
+        obs = self.sim.obs
         mode = gf.policy.replication_mode
-        if mode is ReplicationMode.SYNC and targets:
-            transfers = []
-            for target in targets:
-                transfers.append(self._replicate_to(gf, origin, target,
-                                                    nbytes))
-            yield self.sim.all_of(transfers)
-            for target in targets:
-                gf.copies.add(target.name)
-            self.metrics.tally("sync.ack_latency").record(self.sim.now - start)
-        elif mode is ReplicationMode.ASYNC and targets:
-            for target in targets:
-                self.async_backlog[(path, target.name)] += nbytes
-                self._ensure_pump(target.name)
-            self.metrics.tally("async.ack_latency").record(
-                self.sim.now - start)
-        self.metrics.rate("write.bytes").record(nbytes)
-        done.succeed(nbytes)
+        span = (obs.tracer.span("geo.write", path=path, nbytes=nbytes,
+                                mode=mode.value)
+                if obs is not None else NULL_SPAN)
+        with span:
+            try:
+                with span.child("site.store", site=origin.name):
+                    yield origin.store_write(nbytes)
+            except Exception as exc:  # site down
+                if obs is not None:
+                    obs.log.error("geo.replication", "home_write_failed",
+                                  path=path, site=origin.name)
+                done.fail(exc)
+                return
+            gf.size += nbytes
+            targets = self.replica_targets(gf, origin)
+            if mode is ReplicationMode.SYNC and targets:
+                transfers = []
+                for target in targets:
+                    transfers.append(self._replicate_to(gf, origin, target,
+                                                        nbytes, parent=span))
+                with span.child("geo.sync_replicate", targets=len(targets)):
+                    yield self.sim.all_of(transfers)
+                for target in targets:
+                    gf.copies.add(target.name)
+                self.metrics.tally("sync.ack_latency").record(
+                    self.sim.now - start)
+            elif mode is ReplicationMode.ASYNC and targets:
+                for target in targets:
+                    self.async_backlog[(path, target.name)] += nbytes
+                    self._check_lag(target.name)
+                    self._ensure_pump(target.name)
+                self.metrics.tally("async.ack_latency").record(
+                    self.sim.now - start)
+            self.metrics.rate("write.bytes").record(nbytes)
+            done.succeed(nbytes)
 
     def _replicate_to(self, gf: GeoFile, origin: Site, target: Site,
-                      nbytes: int) -> Event:
+                      nbytes: int, parent=None) -> Event:
         done = Event(self.sim)
 
         def run():
-            yield self.network.transfer(origin, target, nbytes)
-            yield target.store_write(nbytes)
-            # The remote site's acknowledgment rides back one-way.
-            yield self.sim.timeout(self.network.rtt(origin, target) / 2.0)
+            obs = self.sim.obs
+            span = (obs.tracer.span("geo.wan_hop", parent=parent,
+                                    target=target.name, nbytes=nbytes)
+                    if obs is not None else NULL_SPAN)
+            with span:
+                yield self.network.transfer(origin, target, nbytes)
+                yield target.store_write(nbytes)
+                # The remote site's acknowledgment rides back one-way.
+                yield self.sim.timeout(self.network.rtt(origin, target) / 2.0)
             self.metrics.rate("wan.replication_bytes").record(nbytes)
             done.succeed()
 
         self.sim.process(run(), name=f"geo.repl.{target.name}")
         return done
+
+    def backlog_to(self, target_name: str) -> int:
+        """Acked-but-undrained bytes headed to one target site."""
+        return sum(b for (_p, t), b in self.async_backlog.items()
+                   if t == target_name)
+
+    def _check_lag(self, target_name: str) -> None:
+        """Edge-triggered replication-lag warning with hysteresis."""
+        obs = self.sim.obs
+        if obs is None:
+            return
+        backlog = self.backlog_to(target_name)
+        if backlog > self.backlog_warn_bytes and \
+                target_name not in self._lag_alerted:
+            self._lag_alerted.add(target_name)
+            obs.log.warning("geo.replication", "replication_lag",
+                            target=target_name, backlog_bytes=backlog)
+        elif backlog < self.backlog_warn_bytes // 2 and \
+                target_name in self._lag_alerted:
+            self._lag_alerted.discard(target_name)
+            obs.log.info("geo.replication", "replication_lag_cleared",
+                         target=target_name, backlog_bytes=backlog)
 
     # -- async drain -----------------------------------------------------------------------
 
@@ -169,10 +215,14 @@ class GeoReplicator:
                 yield self.network.transfer(origin, target, chunk)
                 yield target.store_write(chunk)
             except (NoRouteError, Exception):
+                if self.sim.obs is not None:
+                    self.sim.obs.log.warning("geo.replication", "pump_stalled",
+                                             target=target_name)
                 yield self.sim.timeout(idle_wait)
                 continue
             self.async_backlog[item] -= chunk
             self.metrics.rate("wan.replication_bytes").record(chunk)
+            self._check_lag(target_name)
             if self.async_backlog[item] <= 0:
                 gf.copies.add(target_name)
         self._pump_running.discard(target_name)
@@ -200,3 +250,20 @@ class GeoReplicator:
             "safe_files": safe,
             "rpo_bytes": self.total_backlog_from(site_name),
         }
+
+    # -- health ---------------------------------------------------------------------
+
+    def health(self) -> ComponentHealth:
+        """Replication lag as management-plane health: DEGRADED while any
+        target's async backlog exceeds the warning watermark."""
+        backlog = sum(self.async_backlog.values())
+        lagging = sorted(self._lag_alerted)
+        state = HealthState.DEGRADED if lagging else HealthState.UP
+        return ComponentHealth("geo.replication", state, metrics={
+            "backlog_bytes": float(backlog),
+            "files": float(len(self.files)),
+            "pumps_running": float(len(self._pump_running)),
+        }, detail=f"lagging: {','.join(lagging)}" if lagging else "")
+
+    def register_health(self, mgmt: "ManagementPlane") -> None:
+        mgmt.register("geo.replication", self.health)

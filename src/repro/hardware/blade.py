@@ -12,6 +12,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Generator
 
+from ..obs.telemetry import ComponentHealth, HealthState
 from ..sim.resources import Resource
 from ..sim.stats import TimeWeighted
 from ..sim.units import gib, us
@@ -19,6 +20,10 @@ from .ports import Port, ethernet_port, fc_port
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
+
+#: Blade lifecycle → management-plane health.
+_STATE_HEALTH = {"up": HealthState.UP, "draining": HealthState.DEGRADED,
+                 "failed": HealthState.FAILED}
 
 
 class BladeState(Enum):
@@ -81,18 +86,34 @@ class ControllerBlade:
     def fail(self) -> None:
         """Hard failure: blade drops out; its cache contents are lost."""
         self.state = BladeState.FAILED
+        if self.sim.obs is not None:
+            self.sim.obs.log.error(self.name, "blade_failed",
+                                   ios_processed=self.ios_processed)
         self._notify()
 
     def repair(self) -> None:
         """Blade replaced/rebooted; rejoins with a cold cache."""
         self.state = BladeState.UP
+        if self.sim.obs is not None:
+            self.sim.obs.log.info(self.name, "blade_repaired")
         self._notify()
 
     def drain(self) -> None:
         """Begin rolling-upgrade drain: no new work accepted."""
         if self.state is BladeState.UP:
             self.state = BladeState.DRAINING
+            if self.sim.obs is not None:
+                self.sim.obs.log.warning(self.name, "blade_draining")
             self._notify()
+
+    def health(self) -> ComponentHealth:
+        """Management-plane snapshot of this blade."""
+        return ComponentHealth(self.name, _STATE_HEALTH[self.state.value],
+                               metrics={
+            "cpu_utilization": self.cpu_utilization.mean(),
+            "ios_processed": float(self.ios_processed),
+            "cache_bytes": float(self.cache_bytes),
+        }, detail=self.state.value)
 
     def observe(self, fn: Callable[["ControllerBlade"], None]) -> None:
         """Register a membership observer (cluster manager hooks in here)."""

@@ -1,0 +1,84 @@
+"""Observability: tracing, structured events, management-plane telemetry.
+
+Three coordinated views of a running simulation (see docs/observability.md):
+
+* :class:`~repro.obs.tracer.Tracer` — *where time went*: nested spans over
+  simulated time, exportable as Chrome ``trace_event`` JSON;
+* :class:`~repro.obs.events.EventLog` — *what happened*: a bounded ring of
+  typed records with severities;
+* :class:`~repro.obs.telemetry.ManagementPlane` — *how healthy it is now*:
+  Figure 2's out-of-band management network aggregating per-component
+  health into one single-system-image report (text/JSON/Prometheus).
+
+Instrumented subsystems look for an :class:`Observability` bundle on
+``sim.obs`` — ``None`` (the default) keeps hot paths at a single attribute
+test, so an uninstrumented run costs nothing measurable.
+
+>>> from repro.obs import enable
+>>> obs = enable(sim)                 # sim.obs is now live
+>>> ... run workload ...
+>>> open("trace.json", "w").write(obs.tracer.to_json())
+>>> print(obs.mgmt.status_report())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .events import EventLog, EventRecord, Severity
+from .telemetry import ComponentHealth, HealthProbe, HealthState, ManagementPlane
+from .tracer import NULL_SPAN, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+__all__ = [
+    "NULL_SPAN",
+    "ComponentHealth",
+    "EventLog",
+    "EventRecord",
+    "HealthProbe",
+    "HealthState",
+    "ManagementPlane",
+    "Observability",
+    "Severity",
+    "Span",
+    "Tracer",
+    "enable",
+]
+
+
+class Observability:
+    """The bundle subsystems consult via ``sim.obs``.
+
+    ``tracing=False`` keeps the event log and telemetry but makes every
+    ``tracer.span()`` return the shared no-op span; ``events=False`` mutes
+    the log.  The management plane always works — health polling is pull
+    based and costs nothing until something polls.
+    """
+
+    def __init__(self, sim: "Simulator", tracing: bool = True,
+                 events: bool = True, event_capacity: int = 4096,
+                 min_severity: Severity = Severity.DEBUG,
+                 max_spans: int = 200_000) -> None:
+        self.sim = sim
+        self.tracer = Tracer(sim, enabled=tracing, max_spans=max_spans)
+        self.log = EventLog(sim, capacity=event_capacity,
+                            min_severity=min_severity, enabled=events)
+        self.mgmt = ManagementPlane(sim)
+        self.mgmt.register("sim.kernel", self._kernel_health)
+
+    def _kernel_health(self) -> ComponentHealth:
+        sim = self.sim
+        return ComponentHealth("sim.kernel", HealthState.UP, metrics={
+            "events_processed": float(sim.events_processed),
+            "queue_depth": float(len(sim._queue)),
+            "sim_time_s": sim.now,
+        })
+
+
+def enable(sim: "Simulator", **kwargs) -> Observability:
+    """Attach a fresh :class:`Observability` bundle to ``sim`` and return it."""
+    obs = Observability(sim, **kwargs)
+    sim.obs = obs
+    return obs

@@ -1,0 +1,147 @@
+"""Structured event log: a bounded ring buffer of typed records.
+
+The operational counterpart to the tracer: instead of *where time went*,
+this answers *what happened* — cache evictions, coherence invalidations,
+link saturation, blade failures, rebuild progress.  Records are typed
+(severity / component / kind / attrs), the buffer is bounded so unbounded
+runs can't eat memory, and :meth:`EventLog.render` produces one greppable
+line per record in the spirit of syslog on the management network.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from collections import deque
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class Severity(IntEnum):
+    """Syslog-style levels; filtering compares numerically."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+    CRITICAL = 50
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One log record, stamped with simulated time.
+
+    ``attrs`` is a sorted tuple of ``(key, value)`` pairs so records are
+    hashable and render deterministically.
+    """
+
+    ts: float
+    severity: Severity
+    component: str
+    kind: str
+    message: str
+    attrs: tuple[tuple[str, Any], ...]
+
+    def render(self) -> str:
+        """One greppable line: time, level, component, kind, message, k=v."""
+        parts = [f"[{self.ts:14.6f}]", f"{self.severity.name:<8}",
+                 f"{self.component:<20}", self.kind]
+        if self.message:
+            parts.append(self.message)
+        parts.extend(f"{k}={v}" for k, v in self.attrs)
+        return " ".join(parts)
+
+
+class EventLog:
+    """Bounded, severity-filtered event log over simulated time.
+
+    ``capacity`` bounds memory: the ring keeps the newest records and
+    counts what it evicted (``dropped``).  ``min_severity`` suppresses
+    records at emit time (``suppressed`` counts them) — the cheap way to
+    run with only WARNING+ retained.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 4096,
+                 min_severity: Severity = Severity.DEBUG,
+                 enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.min_severity = min_severity
+        self.enabled = enabled
+        self._ring: deque[EventRecord] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.suppressed = 0
+        self.dropped = 0
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, severity: Severity, component: str, kind: str,
+             message: str = "", **attrs: Any) -> EventRecord | None:
+        """Append one record; returns it, or None if filtered out."""
+        if not self.enabled:
+            return None
+        if severity < self.min_severity:
+            self.suppressed += 1
+            return None
+        rec = EventRecord(self.sim.now, severity, component, kind, message,
+                          tuple(sorted(attrs.items())))
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(rec)
+        self.emitted += 1
+        return rec
+
+    def debug(self, component: str, kind: str, message: str = "",
+              **attrs: Any) -> EventRecord | None:
+        return self.emit(Severity.DEBUG, component, kind, message, **attrs)
+
+    def info(self, component: str, kind: str, message: str = "",
+             **attrs: Any) -> EventRecord | None:
+        return self.emit(Severity.INFO, component, kind, message, **attrs)
+
+    def warning(self, component: str, kind: str, message: str = "",
+                **attrs: Any) -> EventRecord | None:
+        return self.emit(Severity.WARNING, component, kind, message, **attrs)
+
+    def error(self, component: str, kind: str, message: str = "",
+              **attrs: Any) -> EventRecord | None:
+        return self.emit(Severity.ERROR, component, kind, message, **attrs)
+
+    def critical(self, component: str, kind: str, message: str = "",
+                 **attrs: Any) -> EventRecord | None:
+        return self.emit(Severity.CRITICAL, component, kind, message, **attrs)
+
+    # -- queries ---------------------------------------------------------------
+
+    def records(self, min_severity: Severity | None = None,
+                component: str | None = None,
+                kind: str | None = None) -> list[EventRecord]:
+        """Retained records, oldest first, optionally filtered."""
+        out: Iterable[EventRecord] = self._ring
+        if min_severity is not None:
+            out = (r for r in out if r.severity >= min_severity)
+        if component is not None:
+            out = (r for r in out if r.component == component)
+        if kind is not None:
+            out = (r for r in out if r.kind == kind)
+        return list(out)
+
+    def counts_by_severity(self) -> dict[str, int]:
+        """Retained record count per severity name."""
+        counts = _Counter(r.severity.name for r in self._ring)
+        return dict(sorted(counts.items()))
+
+    def render(self, min_severity: Severity | None = None,
+               component: str | None = None,
+               kind: str | None = None) -> str:
+        """The filtered log as greppable text, one line per record."""
+        return "\n".join(r.render() for r in
+                         self.records(min_severity, component, kind))
+
+    def __len__(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,173 @@
+"""Management-plane telemetry: Figure 2's out-of-band network, modeled.
+
+The paper separates the *data* fabric from a **secure management network**
+so operators keep visibility even when the data path is saturated or
+partially failed (§5.2, §6).  :class:`ManagementPlane` models that plane:
+components register health probes (blade up/degraded/failed, cache hit
+ratio, rebuild ETA, replication lag), a poll gathers every probe into one
+**single-system-image** status report, and the result exports as a plain
+dict, JSON, or Prometheus text — the formats a 2026 operator would scrape.
+
+Probes run out-of-band: a probe that raises marks its component UNKNOWN
+instead of failing the poll, because the management network must keep
+reporting precisely when components are dying.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Simulator
+
+
+class HealthState(Enum):
+    """Coarse component condition, ordered best→worst for aggregation."""
+
+    UP = "up"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+    UNKNOWN = "unknown"
+
+
+#: Aggregation order (worst wins) and Prometheus gauge value per state.
+_STATE_RANK = {HealthState.UP: 0, HealthState.DEGRADED: 1,
+               HealthState.UNKNOWN: 2, HealthState.FAILED: 3}
+_STATE_GAUGE = {HealthState.UP: 1.0, HealthState.DEGRADED: 0.5,
+                HealthState.UNKNOWN: 0.25, HealthState.FAILED: 0.0}
+
+
+@dataclass
+class ComponentHealth:
+    """One component's health snapshot: state + numeric metrics + detail."""
+
+    component: str
+    state: HealthState
+    metrics: dict[str, float] = field(default_factory=dict)
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"component": self.component, "state": self.state.value,
+                "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+                "detail": self.detail}
+
+
+HealthProbe = Callable[[], ComponentHealth]
+
+
+class ManagementPlane:
+    """Out-of-band health aggregation across every registered component."""
+
+    def __init__(self, sim: "Simulator", name: str = "mgmt") -> None:
+        self.sim = sim
+        self.name = name
+        self._probes: dict[str, HealthProbe] = {}
+        self.polls = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, component: str, probe: HealthProbe) -> None:
+        """Attach a component's health probe (re-registering replaces)."""
+        self._probes[component] = probe
+
+    def unregister(self, component: str) -> None:
+        self._probes.pop(component, None)
+
+    def components(self) -> list[str]:
+        """Registered component names, sorted."""
+        return sorted(self._probes)
+
+    # -- polling ---------------------------------------------------------------
+
+    def poll(self) -> dict[str, ComponentHealth]:
+        """Run every probe; a raising probe reports UNKNOWN, not an error."""
+        self.polls += 1
+        out: dict[str, ComponentHealth] = {}
+        for component in sorted(self._probes):
+            try:
+                health = self._probes[component]()
+            except Exception as exc:
+                health = ComponentHealth(component, HealthState.UNKNOWN,
+                                         detail=f"probe failed: {exc}")
+            out[component] = health
+        return out
+
+    def overall(self, snapshot: dict[str, ComponentHealth] | None = None
+                ) -> HealthState:
+        """Worst-of aggregation over one snapshot (UP when empty)."""
+        snapshot = self.poll() if snapshot is None else snapshot
+        worst = HealthState.UP
+        for health in snapshot.values():
+            if _STATE_RANK[health.state] > _STATE_RANK[worst]:
+                worst = health.state
+        return worst
+
+    # -- export ----------------------------------------------------------------
+
+    def status_report(self) -> str:
+        """Single-system-image status: one table for the whole installation."""
+        from ..core.report import format_table  # local: avoid import cycle
+        snapshot = self.poll()
+        rows = []
+        for component, health in snapshot.items():
+            metrics = "  ".join(f"{k}={_fmt_metric(v)}"
+                                for k, v in sorted(health.metrics.items()))
+            rows.append([component, health.state.value, metrics,
+                         health.detail])
+        title = (f"{self.name}: system {self.overall(snapshot).value} "
+                 f"at t={self.sim.now:.6f}s "
+                 f"({len(snapshot)} components)")
+        return format_table(["component", "state", "metrics", "detail"],
+                            rows, title=title)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Deterministic JSON snapshot of every component."""
+        snapshot = self.poll()
+        doc = {
+            "plane": self.name,
+            "sim_time_s": self.sim.now,
+            "overall": self.overall(snapshot).value,
+            "components": [h.as_dict() for h in snapshot.values()],
+        }
+        return json.dumps(doc, sort_keys=True,
+                          separators=(",", ":") if indent is None else None,
+                          indent=indent)
+
+    def to_prometheus(self, prefix: str = "netstorage") -> str:
+        """Prometheus text exposition of health gauges + probe metrics."""
+        snapshot = self.poll()
+        lines = [
+            f"# HELP {prefix}_health component health "
+            "(1=up 0.5=degraded 0.25=unknown 0=failed)",
+            f"# TYPE {prefix}_health gauge",
+        ]
+        for component, health in snapshot.items():
+            lines.append(
+                f'{prefix}_health{{component="{component}"}} '
+                f"{_fmt_metric(_STATE_GAUGE[health.state])}")
+        families: dict[str, list[str]] = {}
+        for component, health in snapshot.items():
+            for metric, value in sorted(health.metrics.items()):
+                fam = f"{prefix}_{_sanitize(metric)}"
+                families.setdefault(fam, []).append(
+                    f'{fam}{{component="{component}"}} {_fmt_metric(value)}')
+        for fam in sorted(families):
+            lines.append(f"# TYPE {fam} gauge")
+            lines.extend(families[fam])
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    """A legal Prometheus metric name fragment."""
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    return out.lstrip("_0123456789") or "metric"
+
+
+def _fmt_metric(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

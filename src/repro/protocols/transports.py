@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
 from ..sim.units import us
 
@@ -82,17 +83,22 @@ class TransportEndpoint:
         done = Event(self.sim)
 
         def run():
-            remaining = nbytes
-            while True:
-                take = min(remaining, self.profile.max_payload)
-                yield self.sim.timeout(self.profile.op_time(take))
-                yield self.sim.timeout(take / self.wire_bandwidth)
-                self.ops += 1
-                self.host_cpu_seconds += \
-                    take * self.profile.host_cpu_per_byte
-                remaining -= take
-                if remaining <= 0:
-                    break
+            obs = self.sim.obs
+            span = (obs.tracer.span(f"xport.{self.profile.name}",
+                                    nbytes=nbytes)
+                    if obs is not None else NULL_SPAN)
+            with span:
+                remaining = nbytes
+                while True:
+                    take = min(remaining, self.profile.max_payload)
+                    yield self.sim.timeout(self.profile.op_time(take))
+                    yield self.sim.timeout(take / self.wire_bandwidth)
+                    self.ops += 1
+                    self.host_cpu_seconds += \
+                        take * self.profile.host_cpu_per_byte
+                    remaining -= take
+                    if remaining <= 0:
+                        break
             done.succeed(nbytes)
 
         self.sim.process(run(), name=f"xport.{self.profile.name}")

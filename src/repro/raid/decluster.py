@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..hardware.disk import Disk
+from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
 from ..sim.process import Interrupt, Process
 
@@ -196,6 +197,19 @@ class DeclusteredRebuildJob:
     def progress(self) -> float:
         return self.completed / self.total if self.total else 1.0
 
+    def eta(self, now: float) -> float | None:
+        """Seconds to completion at the observed rate; 0 when done, None
+        before any progress has been made."""
+        if self.done:
+            return 0.0
+        if self.started_at is None or self.completed == 0:
+            return None
+        elapsed = now - self.started_at
+        if elapsed <= 0:
+            return None
+        rate = self.completed / elapsed
+        return (self.total - self.completed) / rate
+
     def checkout(self) -> list[int] | None:
         """Take the next stripe region, or None when the queue is empty."""
         return self.pending.pop(0) if self.pending else None
@@ -218,6 +232,10 @@ class DeclusteredRebuildEngine:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if job.started_at is None:
             job.started_at = self.sim.now
+            if self.sim.obs is not None:
+                self.sim.obs.log.info("raid.drebuild", "rebuild_started",
+                                      stripes=job.total, workers=workers,
+                                      failed_disk=job.failed_disk)
         return [self.sim.process(self._worker(job), name=f"drebuild.w{i}")
                 for i in range(workers)]
 
@@ -227,23 +245,39 @@ class DeclusteredRebuildEngine:
 
     def _worker(self, job: DeclusteredRebuildJob):
         pool = job.pool
+        obs = self.sim.obs
         while True:
             region = job.checkout()
             if region is None:
                 break
             idx = 0
+            span = (obs.tracer.span("raid.drebuild.region",
+                                    stripes=len(region))
+                    if obs is not None else NULL_SPAN)
             try:
-                while idx < len(region):
-                    stripe = region[idx]
-                    yield self._rebuild_stripe(pool, job, stripe)
-                    idx += 1
-                    job.completed += 1
+                with span:
+                    while idx < len(region):
+                        stripe = region[idx]
+                        yield self._rebuild_stripe(pool, job, stripe)
+                        idx += 1
+                        job.completed += 1
             except Interrupt:
+                if obs is not None:
+                    obs.log.warning("raid.drebuild", "worker_interrupted",
+                                    returned_stripes=len(region) - idx)
                 job.give_back(region[idx:])
                 return
+            if obs is not None:
+                obs.log.debug("raid.drebuild", "region_done",
+                              completed=job.completed, total=job.total,
+                              eta_s=job.eta(self.sim.now))
         if not job.done and not job.pending and job.completed >= job.total:
             job.done = True
             job.finished_at = self.sim.now
+            if obs is not None:
+                obs.log.info("raid.drebuild", "rebuild_completed",
+                             stripes=job.total,
+                             seconds=self.sim.now - (job.started_at or 0.0))
 
     def _rebuild_stripe(self, pool: DeclusteredPool,
                         job: DeclusteredRebuildJob, stripe: int) -> Event:

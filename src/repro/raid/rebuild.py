@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..obs.tracer import NULL_SPAN
 from ..sim.process import Interrupt, Process
 from .array import RaidArray
 from .layout import RaidLevel
@@ -50,6 +51,19 @@ class RebuildJob:
             return 1.0
         return self.completed_stripes / self.total_stripes
 
+    def eta(self, now: float) -> float | None:
+        """Seconds to completion at the observed rate; 0 when done, None
+        before any progress has been made."""
+        if self.done:
+            return 0.0
+        if self.started_at is None or self.completed_stripes == 0:
+            return None
+        elapsed = now - self.started_at
+        if elapsed <= 0:
+            return None
+        rate = self.completed_stripes / elapsed
+        return (self.total_stripes - self.completed_stripes) / rate
+
     def checkout(self) -> tuple[int, int] | None:
         """Take the next region to rebuild, or None when queue is empty."""
         return self.pending.pop(0) if self.pending else None
@@ -77,6 +91,10 @@ class RebuildEngine:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if job.started_at is None:
             job.started_at = self.sim.now
+            if self.sim.obs is not None:
+                self.sim.obs.log.info("raid.rebuild", "rebuild_started",
+                                      stripes=job.total_stripes,
+                                      workers=workers)
         return [self.sim.process(self._worker(job), name=f"rebuild.w{i}")
                 for i in range(workers)]
 
@@ -88,26 +106,43 @@ class RebuildEngine:
         array = job.array
         layout = array.layout
         chunk = layout.chunk_size
+        obs = self.sim.obs
         while True:
             region = job.checkout()
             if region is None:
                 break
             start, end = region
             stripe = start
+            span = (obs.tracer.span("raid.rebuild.region",
+                                    start=start, end=end)
+                    if obs is not None else NULL_SPAN)
             try:
-                while stripe < end:
-                    yield self._rebuild_stripe(job, stripe)
-                    stripe += 1
-                    job.completed_stripes += 1
+                with span:
+                    while stripe < end:
+                        yield self._rebuild_stripe(job, stripe)
+                        stripe += 1
+                        job.completed_stripes += 1
             except Interrupt:
                 # Worker's blade died: return the unfinished tail.
+                if obs is not None:
+                    obs.log.warning("raid.rebuild", "worker_interrupted",
+                                    returned_stripes=end - stripe)
                 if stripe < end:
                     job.give_back((stripe, end))
                 return
+            if obs is not None:
+                obs.log.debug("raid.rebuild", "region_done",
+                              completed=job.completed_stripes,
+                              total=job.total_stripes,
+                              eta_s=job.eta(self.sim.now))
         if not job.done and not job.pending and \
                 job.completed_stripes >= job.total_stripes:
             job.done = True
             job.finished_at = self.sim.now
+            if obs is not None:
+                obs.log.info("raid.rebuild", "rebuild_completed",
+                             stripes=job.total_stripes,
+                             seconds=self.sim.now - (job.started_at or 0.0))
         _ = chunk  # chunk size referenced via _rebuild_stripe
 
     def _rebuild_stripe(self, job: RebuildJob, stripe: int):

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Observability
 
 
 class SimulationError(RuntimeError):
@@ -38,6 +41,11 @@ class Simulator:
         self._queue: list[tuple[float, int, Event, Callable[[Event], None] | None]] = []
         self._seq = count()
         self._active = True
+        self.events_processed: int = 0
+        #: Observability hook point: instrumented subsystems check this per
+        #: operation, so ``None`` (the default) disables the whole layer at
+        #: the cost of one attribute test.  Attach via ``repro.obs.enable``.
+        self.obs: "Observability | None" = None
 
     # -- scheduling (kernel internal) ----------------------------------------
 
@@ -75,6 +83,7 @@ class Simulator:
         """Process the single next event.  Raises IndexError when empty."""
         when, _seq, event, callback = heapq.heappop(self._queue)
         self.now = when
+        self.events_processed += 1
         if callback is not None:
             # Direct delivery (interrupts): bypass the event's own callbacks.
             callback(event)

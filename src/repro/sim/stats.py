@@ -70,6 +70,15 @@ class Tally:
             return 0.0
         return float(np.percentile(np.asarray(self._samples), q))
 
+    def percentiles(self, qs: "list[float]") -> list[float]:
+        """Several percentiles in one pass (requires keep_samples=True)."""
+        if self._samples is None:
+            raise RuntimeError("Tally was created with keep_samples=False")
+        if not self._samples:
+            return [0.0] * len(qs)
+        return [float(v) for v in
+                np.percentile(np.asarray(self._samples), qs)]
+
     def samples(self) -> np.ndarray:
         """Raw samples as a numpy array (requires keep_samples=True)."""
         if self._samples is None:
@@ -180,12 +189,16 @@ class MetricSet:
     >>> metrics.counter("cache.hits").incr()
     """
 
+    #: Percentiles included per tally in :meth:`snapshot`.
+    SNAPSHOT_PERCENTILES = (50.0, 95.0, 99.0)
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self._tallies: dict[str, Tally] = {}
         self._levels: dict[str, TimeWeighted] = {}
         self._counters: dict[str, Counter] = {}
         self._rates: dict[str, RateMeter] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def tally(self, name: str) -> Tally:
         """The named Tally, created on first use."""
@@ -211,16 +224,48 @@ class MetricSet:
             self._rates[name] = RateMeter(self.sim)
         return self._rates[name]
 
+    def histogram(self, name: str, edges: list[float] | None = None) -> Histogram:
+        """The named Histogram, created on first use.
+
+        ``edges`` is required the first time a name is seen (histograms
+        need their bin layout up front) and ignored afterwards.
+        """
+        if name not in self._histograms:
+            if edges is None:
+                raise ValueError(
+                    f"histogram {name!r} does not exist yet; pass edges "
+                    "on first use")
+            self._histograms[name] = Histogram(edges)
+        return self._histograms[name]
+
     def snapshot(self) -> dict[str, float]:
-        """Flatten every collector into a name→value report."""
+        """Flatten every collector into a name→value report.
+
+        Tallies report mean/count always, plus min/max/std and the
+        :data:`SNAPSHOT_PERCENTILES` (p50/p95/p99) once they have data;
+        time-weighted levels add their observed peak; histograms flatten
+        to one entry per bin.
+        """
         out: dict[str, float] = {}
         for name, t in self._tallies.items():
             out[f"{name}.mean"] = t.mean()
             out[f"{name}.count"] = t.count
+            if t.count:
+                out[f"{name}.min"] = t.min
+                out[f"{name}.max"] = t.max
+                out[f"{name}.std"] = t.std()
+                if t._samples is not None:
+                    for q, v in zip(self.SNAPSHOT_PERCENTILES,
+                                    t.percentiles(list(self.SNAPSHOT_PERCENTILES))):
+                        out[f"{name}.p{q:g}"] = v
         for name, lv in self._levels.items():
             out[f"{name}.twa"] = lv.mean()
+            out[f"{name}.peak"] = lv.max
         for name, c in self._counters.items():
             out[name] = c.value
         for name, r in self._rates.items():
             out[f"{name}.bytes_per_s"] = r.rate()
+        for name, h in self._histograms.items():
+            for label, count in h.as_dict().items():
+                out[f"{name}.bin{label}"] = float(count)
         return out

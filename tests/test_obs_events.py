@@ -1,0 +1,111 @@
+"""Event log: ring bounding, severity filtering, greppable rendering."""
+
+import pytest
+
+from repro.obs import EventLog, Severity
+from repro.sim import Simulator
+
+
+def test_records_stamped_with_simulated_time():
+    sim = Simulator()
+    log = EventLog(sim)
+
+    def proc():
+        log.info("cache", "warmup")
+        yield sim.timeout(1.5)
+        log.info("cache", "steady")
+
+    sim.process(proc())
+    sim.run()
+    recs = log.records()
+    assert [r.ts for r in recs] == [0.0, 1.5]
+    assert [r.kind for r in recs] == ["warmup", "steady"]
+
+
+def test_ring_buffer_bounds_memory_and_counts_drops():
+    sim = Simulator()
+    log = EventLog(sim, capacity=8)
+    for i in range(20):
+        log.debug("blade0", "tick", i=i)
+    assert len(log) == 8
+    assert log.dropped == 12
+    assert log.emitted == 20
+    # The ring keeps the NEWEST records.
+    assert [dict(r.attrs)["i"] for r in log.records()] == list(range(12, 20))
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventLog(Simulator(), capacity=0)
+
+
+def test_min_severity_suppresses_at_emit_time():
+    sim = Simulator()
+    log = EventLog(sim, min_severity=Severity.WARNING)
+    assert log.debug("x", "noise") is None
+    assert log.info("x", "noise") is None
+    rec = log.warning("x", "signal")
+    assert rec is not None
+    log.error("x", "bad")
+    log.critical("x", "worse")
+    assert len(log) == 3
+    assert log.suppressed == 2
+    assert log.emitted == 3
+
+
+def test_records_filter_by_severity_component_kind():
+    sim = Simulator()
+    log = EventLog(sim)
+    log.debug("cache", "evict")
+    log.warning("cache", "destage_retry")
+    log.error("blade1", "failed")
+    assert len(log.records(min_severity=Severity.WARNING)) == 2
+    assert len(log.records(component="cache")) == 2
+    assert len(log.records(component="cache",
+                           min_severity=Severity.WARNING)) == 1
+    assert log.records(kind="failed")[0].component == "blade1"
+
+
+def test_disabled_log_emits_nothing():
+    sim = Simulator()
+    log = EventLog(sim, enabled=False)
+    assert log.critical("x", "ignored") is None
+    assert len(log) == 0
+    assert log.emitted == 0
+
+
+def test_render_is_greppable_one_line_per_record():
+    sim = Simulator()
+    log = EventLog(sim)
+    log.warning("geo.replicator", "replication_lag", "backlog over watermark",
+                site="dr-site", backlog_bytes=128)
+    log.info("raid.rebuild", "region_done", completed=3)
+    text = log.render()
+    lines = text.splitlines()
+    assert len(lines) == 2
+    # Each field is greppable: level, component, kind, k=v attrs.
+    assert "WARNING" in lines[0]
+    assert "geo.replicator" in lines[0]
+    assert "replication_lag" in lines[0]
+    assert "backlog over watermark" in lines[0]
+    assert "backlog_bytes=128" in lines[0]
+    assert "site=dr-site" in lines[0]
+    assert "INFO" in lines[1] and "completed=3" in lines[1]
+    # Filtered rendering drops the INFO line.
+    assert "region_done" not in log.render(min_severity=Severity.WARNING)
+
+
+def test_attrs_render_in_sorted_key_order():
+    sim = Simulator()
+    log = EventLog(sim)
+    rec = log.info("c", "k", z=1, a=2, m=3)
+    assert tuple(k for k, _ in rec.attrs) == ("a", "m", "z")
+
+
+def test_counts_by_severity():
+    sim = Simulator()
+    log = EventLog(sim)
+    log.debug("c", "a")
+    log.debug("c", "b")
+    log.error("c", "d")
+    assert log.counts_by_severity() == {"DEBUG": 2, "ERROR": 1}

@@ -67,6 +67,29 @@ class TestTimeWeighted:
         tw = TimeWeighted(sim, initial=7.0)
         assert tw.mean() == 7.0
 
+    def test_max_tracks_through_add_decrease_then_rise(self):
+        # max must follow the level through add() even when it dips and
+        # then climbs past the old peak (queue-depth style usage).
+        sim = Simulator()
+        tw = TimeWeighted(sim)
+        tw.add(5.0)
+        assert tw.max == 5.0
+        tw.add(-4.0)          # dip: peak must be retained
+        assert tw.max == 5.0
+        tw.add(2.0)           # rise below old peak: unchanged
+        assert tw.max == 5.0
+        tw.add(4.0)           # rise past the old peak: new max
+        assert tw.level == pytest.approx(7.0)
+        assert tw.max == 7.0
+
+    def test_max_with_negative_start(self):
+        sim = Simulator()
+        tw = TimeWeighted(sim, initial=-2.0)
+        tw.add(-1.0)
+        assert tw.max == -2.0  # initial level is the peak so far
+        tw.add(2.5)
+        assert tw.max == pytest.approx(-0.5)
+
 
 def test_counter():
     c = Counter()
@@ -142,6 +165,45 @@ def test_metric_set_returns_same_collector():
     m = MetricSet(sim)
     assert m.tally("x") is m.tally("x")
     assert m.counter("y") is m.counter("y")
+
+
+def test_metric_set_histogram_registry():
+    sim = Simulator()
+    m = MetricSet(sim)
+    h = m.histogram("lat", edges=[0.001, 0.01, 0.1])
+    assert m.histogram("lat") is h  # edges only needed on first use
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.record(v)
+    snap = m.snapshot()
+    assert snap["lat.bin<0.001"] == 1.0
+    assert snap["lat.bin[0.001,0.01)"] == 1.0
+    assert snap["lat.bin[0.01,0.1)"] == 1.0
+    assert snap["lat.bin>=0.1"] == 1.0
+    with pytest.raises(ValueError):
+        m.histogram("unseen")  # no edges on first use
+
+
+def test_snapshot_includes_spread_and_percentiles():
+    sim = Simulator()
+    m = MetricSet(sim)
+    t = m.tally("lat")
+    for v in range(1, 101):
+        t.record(float(v))
+    m.level("depth").record(3.0)
+    m.level("depth").record(1.0)
+    snap = m.snapshot()
+    assert snap["lat.min"] == 1.0
+    assert snap["lat.max"] == 100.0
+    assert snap["lat.std"] == pytest.approx(t.std())
+    assert snap["lat.p50"] == pytest.approx(50.5)
+    assert snap["lat.p95"] == pytest.approx(95.05)
+    assert snap["lat.p99"] == pytest.approx(99.01)
+    assert snap["depth.peak"] == 3.0
+    # Empty tallies stay minimal: no min/max noise before data arrives.
+    m.tally("unused")
+    snap2 = m.snapshot()
+    assert "unused.min" not in snap2
+    assert snap2["unused.count"] == 0
 
 
 class TestUnits:
