@@ -2,9 +2,31 @@
 
 Not a paper experiment — these measure the simulator's own event
 throughput so regressions in the DES kernel (which every experiment sits
-on) are visible.  Unlike the E-series (single deterministic runs), these
-use pytest-benchmark's normal multi-round statistics.
+on) are visible.  Two harnesses share this file:
+
+* pytest-benchmark tests (collected with the tier-1 suite) giving
+  multi-round statistics for local comparison;
+* a standalone regression harness (``python benchmarks/
+  bench_kernel_microbench.py``) that writes ``BENCH_kernel.json`` —
+  events/sec, wall time and allocation counts per scenario — and can gate
+  CI against a committed baseline (``--baseline BENCH_kernel.json
+  --max-regression 0.30``).  See docs/performance.md for how to read the
+  numbers.
 """
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401  (already importable under pytest / installed)
+except ImportError:  # pragma: no cover - script-mode path shim
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.cache import BlockCache
 from repro.sim import FairShareLink, Resource, Simulator
@@ -83,3 +105,214 @@ def test_kernel_cache_ops(benchmark):
         return cache.hits
 
     assert benchmark(run) > 0
+
+
+# ---------------------------------------------------------------------------
+# Standalone regression harness (BENCH_kernel.json)
+# ---------------------------------------------------------------------------
+# Scenario functions build a workload, run it to completion, and return the
+# number of kernel events processed (for the pure-datastructure cache
+# scenario: the operation count).  The runner handles timing/allocation
+# accounting so every scenario is measured identically.
+
+
+def _timeout_storm(scale: float) -> int:
+    """Many processes yielding bare timeouts: the pooled fast path."""
+    sim = Simulator()
+    n = int(20_000 * scale)
+
+    def ticker():
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    for _ in range(8):
+        sim.process(ticker())
+    sim.run()
+    return sim.events_processed
+
+
+def _link_contention(scale: float) -> int:
+    """Staggered clients churning a fair-share link's active set."""
+    sim = Simulator()
+    link = FairShareLink(sim, bandwidth=1e6)
+    n = int(150 * scale)
+
+    def client(i):
+        yield sim.timeout(i * 0.0001)
+        for _ in range(n):
+            yield link.transfer(500.0)
+
+    for i in range(32):
+        sim.process(client(i))
+    sim.run()
+    return sim.events_processed
+
+
+def _resource_contention(scale: float) -> int:
+    """Request/release churn through a capacity-2 resource."""
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    n = int(1_500 * scale)
+
+    def worker():
+        for _ in range(n):
+            req = res.request()
+            yield req
+            yield sim.timeout(0.0001)
+            res.release(req)
+
+    for _ in range(8):
+        sim.process(worker())
+    sim.run()
+    return sim.events_processed
+
+
+def _cache_ops(scale: float) -> int:
+    """Hot-set + scan churn on the priority-LRU block cache."""
+    cache = BlockCache(1024)
+    n = int(200_000 * scale)
+    for i in range(n):
+        key = ("hot", i % 256) if i % 3 == 0 else ("scan", i % 4096)
+        if cache.lookup(key) is None:
+            cache.insert(key, priority=i % 3)
+    return n
+
+
+def _farm_feed(scale: float) -> int:
+    """FarmFeed reads through the deferred-call fast path (no obs)."""
+    from _common import FarmFeed  # resolved via benchmarks/ on sys.path
+
+    sim = Simulator()
+    feed = FarmFeed(sim, bandwidth=1.2e9, latency=1e-4)
+    n = int(2_000 * scale)
+
+    def client(i):
+        for j in range(n):
+            yield feed.read(("blk", i, j), 65536)
+
+    for i in range(16):
+        sim.process(client(i))
+    sim.run()
+    return sim.events_processed
+
+
+SCENARIOS = {
+    "timeout_storm": _timeout_storm,
+    "link_contention": _link_contention,
+    "resource_contention": _resource_contention,
+    "cache_ops": _cache_ops,
+    "farm_feed": _farm_feed,
+}
+
+
+def _measure_once(fn, scale: float) -> dict:
+    gc.collect()
+    blocks_before = sys.getallocatedblocks()
+    t0 = time.perf_counter()
+    events = fn(scale)
+    wall = time.perf_counter() - t0
+    alloc = sys.getallocatedblocks() - blocks_before
+    return {
+        "events": events,
+        "wall_s": round(wall, 6),
+        "events_per_sec": round(events / wall, 1),
+        "alloc_blocks_delta": alloc,
+    }
+
+
+def run_harness(scale: float = 1.0, repeats: int = 3) -> dict:
+    """Run every scenario ``repeats`` times; keep the best (max events/sec).
+
+    Best-of-N is the standard microbenchmark noise filter: scheduler
+    preemption and frequency scaling only ever make a run *slower*, so the
+    fastest observation is the closest to the code's true cost.
+    """
+    scenarios = {}
+    for name, fn in SCENARIOS.items():
+        best = None
+        for _ in range(max(1, repeats)):
+            result = _measure_once(fn, scale)
+            if best is None or result["events_per_sec"] > best["events_per_sec"]:
+                best = result
+        scenarios[name] = best
+    return {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "python": sys.version.split()[0],
+            "metric": "events_per_sec (best of repeats)",
+        },
+        "scenarios": scenarios,
+    }
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        max_regression: float) -> list[str]:
+    """Events/sec regressions beyond ``max_regression`` (0.30 = -30%)."""
+    failures = []
+    base_scen = baseline.get("scenarios", baseline)
+    for name, cur in current["scenarios"].items():
+        base = base_scen.get(name)
+        if not base:
+            continue
+        base_rate = base["events_per_sec"]
+        ratio = cur["events_per_sec"] / base_rate if base_rate else 1.0
+        marker = ""
+        if ratio < 1.0 - max_regression:
+            failures.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"  {name:22s} {cur['events_per_sec']:>12,.0f} ev/s "
+              f"(baseline {base_rate:>12,.0f}, x{ratio:.2f}){marker}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Kernel regression harness; writes BENCH_kernel.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down run for CI smoke (scale=0.25, repeats=2)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per scenario, best kept (default 3)")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="output JSON path (default ./BENCH_kernel.json)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline BENCH_kernel.json to compare against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="fail if events/sec drops more than this "
+                             "fraction below baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.25 if args.quick else 1.0)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+
+    print(f"kernel microbench: scale={scale} repeats={repeats}")
+    report = run_harness(scale=scale, repeats=repeats)
+    for name, r in report["scenarios"].items():
+        print(f"  {name:22s} {r['events_per_sec']:>12,.0f} ev/s  "
+              f"wall {r['wall_s']:.4f}s  alloc {r['alloc_blocks_delta']:+d}")
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        print(f"comparing against {args.baseline} "
+              f"(max regression {args.max_regression:.0%}):")
+        failures = compare_to_baseline(report, baseline, args.max_regression)
+        if failures:
+            print(f"FAIL: events/sec regressed >{args.max_regression:.0%} "
+                  f"in: {', '.join(failures)}")
+            return 1
+        print("OK: no scenario regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
+from heapq import heappop, heappush
 from typing import Hashable
 
 BlockKey = Hashable
@@ -23,7 +24,7 @@ class BlockState(Enum):
     REPLICA = "replica"      # pinned safety copy of another blade's dirty block
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     """One resident block: state, retention priority, pin flag."""
     key: BlockKey
@@ -43,6 +44,13 @@ class BlockCache:
     Capacity is counted in blocks.  Clean SHARED blocks live in
     per-priority LRU buckets; MODIFIED and REPLICA blocks are pinned and
     only leave via :meth:`clean` (destage) or :meth:`drop`.
+
+    Eviction is O(1) amortized: a lazy min-heap of priorities tracks which
+    buckets may hold victims, so finding the lowest non-empty bucket never
+    re-sorts the bucket map (the old ``sorted(self._lru)`` scan).  Each
+    priority sits in the heap at most once (a membership set guards the
+    push); stale heap entries (buckets drained by eviction or :meth:`drop`)
+    are retired on the next eviction that meets them.
     """
 
     def __init__(self, capacity_blocks: int, name: str = "cache") -> None:
@@ -52,6 +60,8 @@ class BlockCache:
         self.name = name
         self._entries: dict[BlockKey, CacheEntry] = {}
         self._lru: dict[int, OrderedDict[BlockKey, None]] = {}
+        self._prio_heap: list[int] = []
+        self._prio_in_heap: set[int] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -80,8 +90,7 @@ class BlockCache:
             return None
         self.hits += 1
         if not entry.locked:
-            bucket = self._lru[entry.priority]
-            bucket.move_to_end(entry.key)
+            self._lru[entry.priority].move_to_end(key)
         return entry
 
     def hit_ratio(self) -> float:
@@ -102,18 +111,19 @@ class BlockCache:
 
         Raises :class:`CapacityError` when every resident block is pinned.
         """
-        existing = self._entries.get(key)
+        entries = self._entries
+        existing = entries.get(key)
         if existing is not None:
             self._unlink(existing)
-        while len(self._entries) >= self.capacity:
+        while len(entries) >= self.capacity:
             if not self._evict_one():
                 raise CapacityError(
                     f"{self.name}: all {self.capacity} blocks pinned")
-        locked = state in (BlockState.MODIFIED, BlockState.REPLICA)
+        locked = state is BlockState.MODIFIED or state is BlockState.REPLICA
         entry = CacheEntry(key, state, priority, locked, now)
-        self._entries[key] = entry
+        entries[key] = entry
         if not locked:
-            self._lru.setdefault(priority, OrderedDict())[key] = None
+            self._lru_add(priority, key)
         return entry
 
     def clean(self, key: BlockKey) -> None:
@@ -124,7 +134,7 @@ class BlockCache:
         if entry.locked:
             entry.locked = False
             entry.state = BlockState.SHARED
-            self._lru.setdefault(entry.priority, OrderedDict())[key] = None
+            self._lru_add(entry.priority, key)
 
     def drop(self, key: BlockKey) -> None:
         """Invalidate a block (coherence invalidation or volume delete)."""
@@ -136,8 +146,22 @@ class BlockCache:
         """Blade failure: all contents vanish."""
         self._entries.clear()
         self._lru.clear()
+        self._prio_heap.clear()
+        self._prio_in_heap.clear()
 
     # -- internals ------------------------------------------------------------------
+
+    def _lru_add(self, priority: int, key: BlockKey) -> None:
+        bucket = self._lru.get(priority)
+        if bucket is None:
+            bucket = self._lru[priority] = OrderedDict()
+        if priority not in self._prio_in_heap:
+            # Announce the bucket to the eviction heap; the membership set
+            # keeps each priority in the heap at most once, so the heap
+            # stays bounded by the number of distinct priorities.
+            self._prio_in_heap.add(priority)
+            heappush(self._prio_heap, priority)
+        bucket[key] = None
 
     def _unlink(self, entry: CacheEntry) -> None:
         self._entries.pop(entry.key, None)
@@ -147,11 +171,19 @@ class BlockCache:
                 bucket.pop(entry.key, None)
 
     def _evict_one(self) -> bool:
-        for priority in sorted(self._lru):
-            bucket = self._lru[priority]
-            if bucket:
-                victim, _ = bucket.popitem(last=False)
-                del self._entries[victim]
-                self.evictions += 1
-                return True
+        heap = self._prio_heap
+        lru = self._lru
+        while heap:
+            priority = heap[0]
+            bucket = lru.get(priority)
+            if not bucket:
+                # Stale: bucket drained (evictions/drops) since it was
+                # pushed; retire the heap entry so _lru_add re-announces it.
+                heappop(heap)
+                self._prio_in_heap.discard(priority)
+                continue
+            victim, _ = bucket.popitem(last=False)
+            del self._entries[victim]
+            self.evictions += 1
+            return True
         return False

@@ -10,7 +10,13 @@ from .engine import SimulationError, Simulator
 from .events import AllOf, AnyOf, ConditionError, Event, Timeout
 from .link import FairShareLink, FcfsLink
 from .process import Interrupt, Process
-from .replications import ReplicationSummary, replicate, summarize
+from .replications import (
+    ReplicationSummary,
+    replicate,
+    replicate_parallel,
+    run_replications,
+    summarize,
+)
 from .resources import Container, PriorityResource, Request, Resource, Store
 from .rng import RngStreams, stable_hash
 from .stats import Counter, Histogram, MetricSet, RateMeter, Tally, TimeWeighted
@@ -41,6 +47,8 @@ __all__ = [
     "TimeWeighted",
     "Timeout",
     "replicate",
+    "replicate_parallel",
+    "run_replications",
     "stable_hash",
     "summarize",
 ]

@@ -4,11 +4,28 @@ A tiny, deterministic event kernel in the style of SimPy: a time-ordered heap
 of events, generator-based processes, and helpers for timeouts and run-until
 loops.  Determinism is guaranteed by a monotonically increasing sequence
 number that breaks time ties in FIFO order.
+
+Hot-path notes (see docs/performance.md):
+
+* Heap entries are plain ``(time, seq, event, callback)`` tuples; ``seq`` is
+  unique so the event/callback fields are never compared.
+* ``event is None`` entries are the *deferred-call* fast path
+  (:meth:`Simulator.call_in` / :meth:`Simulator.call_at`): the callback runs
+  with no arguments and no Event object is ever allocated.  Simple
+  delay-then-callback patterns (link grants, farm-feed latency) use this
+  instead of spawning a generator :class:`~repro.sim.process.Process`.
+* Fired :class:`Timeout` objects are recycled through a free list
+  (``pooling=True``, the default).  A Timeout is returned to the pool only
+  after its callbacks have run, and its fields are reset lazily on reuse, so
+  reading ``value``/``processed`` right after it fires still works.  Model
+  code must not retain a fired Timeout across subsequent simulation events;
+  pass ``pooling=False`` to disable reuse entirely (the escape hatch used by
+  the determinism tests).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
@@ -17,6 +34,10 @@ from .process import Process, ProcessGen
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
+
+#: Upper bound on pooled Timeout objects kept for reuse; beyond this the
+#: kernel lets fired timeouts go to the garbage collector.
+_POOL_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -36,12 +57,18 @@ class Simulator:
     3.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, pooling: bool = True) -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event, Callable[[Event], None] | None]] = []
+        self._queue: list[tuple[float, int, Event | None,
+                                Callable | None]] = []
         self._seq = count()
         self._active = True
         self.events_processed: int = 0
+        #: Reuse fired Timeout objects via ``_free_timeouts`` (see module
+        #: docstring for the invariants).  The escape hatch for determinism
+        #: A/B tests and for model code that retains fired timeouts.
+        self.pooling = pooling
+        self._free_timeouts: list[Timeout] = []
         #: Observability hook point: instrumented subsystems check this per
         #: operation, so ``None`` (the default) disables the whole layer at
         #: the cost of one attribute test.  Attach via ``repro.obs.enable``.
@@ -53,7 +80,32 @@ class Simulator:
                  callback: Callable[[Event], None] | None = None) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} into the past")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event, callback))
+        heappush(self._queue, (self.now + delay, next(self._seq), event, callback))
+
+    # -- deferred-call fast path ----------------------------------------------
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` simulated seconds.
+
+        The zero-allocation alternative to ``timeout(delay).add_callback``
+        for fire-and-forget deferred work: no Event object exists, so there
+        is nothing to wait on — use :meth:`timeout` when a process must
+        yield on the delay.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} into the past")
+        heappush(self._queue, (self.now + delay, next(self._seq), None, fn))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"call_at({when}) is in the past (now={self.now})")
+        heappush(self._queue, (when, next(self._seq), None, fn))
+
+    #: Alias kept so model code reads naturally at call sites that think in
+    #: terms of "schedule this callback", not "call later".
+    schedule_callback = call_in
 
     # -- public factory helpers ----------------------------------------------
 
@@ -63,6 +115,19 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` simulated seconds from now."""
+        free = self._free_timeouts
+        if free:
+            if delay < 0:
+                raise ValueError(f"timeout delay must be >= 0, got {delay}")
+            t = free.pop()
+            # The recycle sites park the (cleared) callbacks list back on
+            # the object, so reuse allocates nothing.
+            t._value = value
+            t._ok = True
+            t._processed = False
+            t.delay = delay
+            heappush(self._queue, (self.now + delay, next(self._seq), t, None))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, gen: ProcessGen, name: str = "") -> Process:
@@ -80,20 +145,38 @@ class Simulator:
     # -- main loop -------------------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next event.  Raises IndexError when empty."""
-        when, _seq, event, callback = heapq.heappop(self._queue)
+        """Process the single next event.
+
+        Raises :class:`SimulationError` when no events are queued.
+        """
+        q = self._queue
+        if not q:
+            raise SimulationError("no events queued")
+        when, _seq, event, callback = heappop(q)
         self.now = when
         self.events_processed += 1
+        if event is None:
+            callback()  # deferred-call fast path
+            return
         if callback is not None:
-            # Direct delivery (interrupts): bypass the event's own callbacks.
+            # Direct delivery (interrupts, process start): bypass the
+            # event's own callbacks.
             callback(event)
             return
         if event._processed:
             return
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, None
-        for fn in callbacks or ():
-            fn(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+        if self.pooling and type(event) is Timeout:
+            free = self._free_timeouts
+            if len(free) < _POOL_MAX:
+                callbacks.clear()
+                event.callbacks = callbacks
+                free.append(event)
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if none are queued."""
@@ -108,8 +191,7 @@ class Simulator:
           value (raising if it failed).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            self._run_all()
             return None
         if isinstance(until, Event):
             stop = until
@@ -129,3 +211,43 @@ class Simulator:
             self.step()
         self.now = horizon
         return None
+
+    def _run_all(self) -> None:
+        """Drain the queue with :meth:`step`'s body inlined.
+
+        The per-event interpreter overhead of the method call and repeated
+        attribute loads is the single largest cost in timeout-heavy runs, so
+        the unbounded loop keeps everything in locals and flushes the event
+        counter once at the end.
+        """
+        q = self._queue
+        pop = heappop
+        free = self._free_timeouts
+        pooling = self.pooling
+        processed = 0
+        try:
+            while q:
+                when, _seq, event, callback = pop(q)
+                self.now = when
+                processed += 1
+                if event is None:
+                    callback()
+                    continue
+                if callback is not None:
+                    callback(event)
+                    continue
+                if event._processed:
+                    continue
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                if pooling and type(event) is Timeout \
+                        and len(free) < _POOL_MAX:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    free.append(event)
+        finally:
+            self.events_processed += processed

@@ -7,6 +7,7 @@ conditions (:class:`AllOf`, :class:`AnyOf`) build barriers and races.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,7 +64,8 @@ class Event:
             raise RuntimeError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(0.0, self)
+        sim = self.sim
+        heappush(sim._queue, (sim.now, next(sim._seq), self, None))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -74,7 +76,8 @@ class Event:
             raise TypeError(f"fail() requires an exception, got {exc!r}")
         self._ok = False
         self._value = exc
-        self.sim._enqueue(0.0, self)
+        sim = self.sim
+        heappush(sim._queue, (sim.now, next(sim._seq), self, None))
         return self
 
     # -- waiting ------------------------------------------------------------
@@ -109,11 +112,14 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._scheduled = False
+        self._processed = False
         self.delay = delay
         self._ok = True
         self._value = value
-        self.sim._enqueue(delay, self)
+        heappush(sim._queue, (sim.now + delay, next(sim._seq), self, None))
 
 
 class ConditionError(Exception):

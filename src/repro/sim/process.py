@@ -9,9 +9,10 @@ injection.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator
 
-from .events import Event
+from .events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import Simulator
@@ -30,6 +31,22 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _StartSignal:
+    """Shared kick-off payload delivered to every new process.
+
+    Starting a process used to allocate a throwaway succeeded Event; the
+    direct-delivery channel only reads ``_ok``/``_value``, so one immutable
+    singleton serves every start.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_START = _StartSignal()
+
+
 class Process(Event):
     """A running generator; completes (as an event) when the generator does.
 
@@ -37,7 +54,7 @@ class Process(Event):
     with any exception the generator raises.
     """
 
-    __slots__ = ("gen", "_target", "name")
+    __slots__ = ("gen", "_target", "name", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
@@ -48,10 +65,13 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Event | None = None
-        # Kick off at the current simulation time.
-        init = Event(sim)
-        init.succeed()
-        init.add_callback(self._resume)
+        # Evaluating ``self._resume`` allocates a bound-method object each
+        # time; the process subscribes to one event per resume, so cache the
+        # binding once for the process's whole lifetime.
+        self._resume_cb = self._resume
+        # Kick off at the current simulation time via the direct-delivery
+        # channel (no per-process start Event).
+        heappush(sim._queue, (sim.now, next(sim._seq), _START, self._resume_cb))
 
     @property
     def is_alive(self) -> bool:
@@ -70,24 +90,25 @@ class Process(Event):
         interrupt_ev = Event(self.sim)
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
-        self.sim._enqueue(0.0, interrupt_ev, callback=self._resume)
+        self.sim._enqueue(0.0, interrupt_ev, callback=self._resume_cb)
 
     # -- kernel side ---------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             # Process finished between scheduling of an interrupt and its
             # delivery; nothing left to interrupt.
             return
-        if self._target is not None and event is not self._target:
+        waiting_on = self._target
+        if waiting_on is not None and event is not waiting_on:
             # An interrupt arrived while waiting on _target: detach.
             self._detach_from_target()
-        self._target = None
+            self._target = None
         try:
-            if event.ok:
-                target = self.gen.send(event.value)
+            if event._ok:
+                target = self.gen.send(event._value)
             else:
-                target = self.gen.throw(event.value)
+                target = self.gen.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -99,7 +120,9 @@ class Process(Event):
                 raise
             self.fail(exc)
             return
-        if not isinstance(target, Event):
+        try:
+            target_callbacks = target.callbacks
+        except AttributeError:
             error = RuntimeError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances")
@@ -107,13 +130,18 @@ class Process(Event):
             self.fail(error)
             raise error
         self._target = target
-        target.add_callback(self._resume)
+        if target_callbacks is not None:
+            target_callbacks.append(self._resume_cb)
+        else:
+            # Target already processed: resume immediately (same semantics
+            # as Event.add_callback on a processed event).
+            self._resume(target)
 
     def _detach_from_target(self) -> None:
         target = self._target
         if target is None or target.callbacks is None:
             return
         try:
-            target.callbacks.remove(self._resume)
+            target.callbacks.remove(self._resume_cb)
         except ValueError:
             pass

@@ -4,6 +4,12 @@ Experiment benches that involve stochastic workloads (failure campaigns,
 Zipf traffic) report means over several seeded replications; this module
 provides the Student-t interval so EXPERIMENTS.md can state uncertainty
 honestly instead of single-run point estimates.
+
+Wide sweeps (many seeds x expensive runs) can fan out across cores with
+:func:`replicate_parallel` / ``run_replications(..., max_workers=N)``.
+Each replication still runs a fully deterministic simulation for its seed,
+and results are merged back in seed order, so the parallel runner produces
+byte-for-byte the same summary as the serial one.
 """
 
 from __future__ import annotations
@@ -54,9 +60,59 @@ def summarize(values: Sequence[float],
     return ReplicationSummary(mean, t * sem, int(arr.size), confidence)
 
 
+def run_replications(run: Callable[[int], float], seeds: Sequence[int],
+                     max_workers: int | None = None) -> list[float]:
+    """Run ``run(seed)`` for every seed, returning outputs in seed order.
+
+    ``max_workers`` > 1 fans the replications out over a process pool
+    (``run`` must be picklable, i.e. a module-level function).  The merge is
+    deterministic: outputs come back ordered by their position in ``seeds``
+    regardless of which worker finished first, so serial and parallel runs
+    are interchangeable.  If a pool cannot be started (restricted sandboxes,
+    missing OS primitives), the sweep silently degrades to serial — the
+    results are identical either way, only the wall time differs.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if max_workers is None or max_workers <= 1 or len(seeds) == 1:
+        return [run(seed) for seed in seeds]
+    workers = min(max_workers, len(seeds))
+    try:
+        import multiprocessing
+
+        pool = multiprocessing.Pool(workers)
+    except (ImportError, OSError, ValueError):
+        return [run(seed) for seed in seeds]
+    try:
+        # Pool.map preserves input order: merged results are seed-ordered.
+        return pool.map(run, seeds)
+    except Exception:
+        # Unpicklable closures and worker start-up failures degrade to the
+        # serial path rather than killing the sweep.
+        return [run(seed) for seed in seeds]
+    finally:
+        pool.close()
+        pool.join()
+
+
 def replicate(run: Callable[[int], float], seeds: Sequence[int],
-              confidence: float = 0.95) -> ReplicationSummary:
+              confidence: float = 0.95,
+              max_workers: int | None = None) -> ReplicationSummary:
     """Run ``run(seed)`` for each seed and summarize the outputs."""
     if not seeds:
         raise ValueError("need at least one seed")
-    return summarize([run(seed) for seed in seeds], confidence)
+    return summarize(run_replications(run, seeds, max_workers=max_workers),
+                     confidence)
+
+
+def replicate_parallel(run: Callable[[int], float], seeds: Sequence[int],
+                       confidence: float = 0.95,
+                       max_workers: int | None = None) -> ReplicationSummary:
+    """:func:`replicate` across a process pool (defaults to one worker per
+    seed, capped at the CPU count)."""
+    if max_workers is None:
+        import os
+
+        max_workers = min(len(seeds), os.cpu_count() or 1)
+    return replicate(run, seeds, confidence, max_workers=max_workers)

@@ -127,3 +127,44 @@ def test_property_hit_plus_miss_equals_lookups(keys):
         if cache.lookup(k) is None:
             cache.insert(k)
     assert cache.hits + cache.misses == len(keys)
+
+
+def test_eviction_order_stable_across_priorities():
+    # Victims must leave lowest-priority-bucket-first, LRU within the
+    # bucket: the lazy-heap eviction path has to reproduce exactly the
+    # order the old sorted-bucket scan produced.
+    cache = BlockCache(6)
+    cache.insert("p2-a", priority=2)
+    cache.insert("p0-a", priority=0)
+    cache.insert("p1-a", priority=1)
+    cache.insert("p0-b", priority=0)
+    cache.insert("p1-b", priority=1)
+    cache.insert("p2-b", priority=2)
+    cache.lookup("p0-a")  # refresh: p0-b becomes the LRU of bucket 0
+
+    residents = {"p2-a", "p0-a", "p1-a", "p0-b", "p1-b", "p2-b"}
+    order = []
+    for i in range(6):
+        cache.insert(("filler", i), priority=3)
+        gone = [k for k in residents if k not in cache]
+        assert len(gone) == 1, "each insert at capacity evicts exactly one"
+        order.append(gone[0])
+        residents.discard(gone[0])
+    assert order == ["p0-b", "p0-a", "p1-a", "p1-b", "p2-a", "p2-b"]
+
+
+def test_eviction_retires_stale_priority_buckets():
+    # Draining a bucket via drop() leaves a stale heap entry; eviction must
+    # skip it, and re-populating the priority must re-announce the bucket.
+    cache = BlockCache(3)
+    cache.insert("low", priority=0)
+    cache.insert("mid", priority=1)
+    cache.insert("high", priority=2)
+    cache.drop("low")  # bucket 0 now empty but still in the heap
+    cache.insert("mid2", priority=1)
+    cache.insert("over", priority=2)  # victim: mid (LRU of lowest non-empty)
+    assert "mid" not in cache and "mid2" in cache and "high" in cache
+    cache.insert("low2", priority=0)  # re-announces bucket 0; evicts mid2
+    assert "mid2" not in cache and "low2" in cache
+    cache.insert("over2", priority=2)  # victim: low2 (bucket 0 again live)
+    assert "low2" not in cache and "high" in cache and "over2" in cache

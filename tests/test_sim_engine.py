@@ -418,3 +418,35 @@ def test_peek_reports_next_event_time():
     assert sim.peek() == 0.0
     sim.step()
     assert sim.peek() == 7.0
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="no events queued"):
+        sim.step()
+
+
+def test_step_on_drained_queue_raises():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.step()
+    with pytest.raises(SimulationError, match="no events queued"):
+        sim.step()
+
+
+def test_run_until_past_last_event_lands_on_horizon():
+    sim = Simulator()
+    fired = []
+    sim.timeout(2.0).add_callback(lambda ev: fired.append(sim.now))
+    sim.run(until=10.0)  # horizon far beyond the last queued event
+    assert fired == [2.0]
+    assert sim.now == 10.0
+    assert sim.peek() == float("inf")
+
+
+def test_run_until_time_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=4.5)  # nothing queued at all
+    assert sim.now == 4.5
+    sim.run(until=4.5)  # same-instant rerun is a no-op, not an error
+    assert sim.now == 4.5

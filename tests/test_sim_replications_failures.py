@@ -1,10 +1,19 @@
 """Tests for replication statistics and cache backing-failure hardening."""
 
+import random
+
 import pytest
 
 from repro.cache import CacheCluster
 from repro.hardware import ControllerBlade, Disk, DiskFailedError
-from repro.sim import ReplicationSummary, Simulator, replicate, summarize
+from repro.sim import (
+    ReplicationSummary,
+    Simulator,
+    replicate,
+    replicate_parallel,
+    run_replications,
+    summarize,
+)
 from repro.sim.units import mib
 
 
@@ -121,3 +130,32 @@ class TestCacheBackingFailures:
         p = sim.process(proc())
         sim.run(until=p)
         assert p.value == "cached"
+
+
+def _replication_body(seed: int) -> float:
+    """Module-level (hence picklable) body for the parallel runner tests."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    finish = []
+
+    def proc():
+        for _ in range(25):
+            yield sim.timeout(rng.uniform(0.001, 0.01))
+        finish.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    return finish[0]
+
+
+class TestParallelReplications:
+    def test_parallel_merge_identical_to_serial(self):
+        seeds = list(range(1, 9))
+        serial = run_replications(_replication_body, seeds, max_workers=1)
+        fanned = run_replications(_replication_body, seeds, max_workers=4)
+        assert fanned == serial  # same values, same (seed) order
+
+    def test_replicate_parallel_summary_identical(self):
+        seeds = [3, 1, 4, 1, 5]
+        assert (replicate_parallel(_replication_body, seeds)
+                == replicate(_replication_body, seeds))
