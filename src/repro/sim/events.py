@@ -129,12 +129,17 @@ class ConditionError(Exception):
 class _Condition(Event):
     """Shared machinery for AllOf / AnyOf."""
 
-    __slots__ = ("events", "_outstanding")
+    __slots__ = ("events", "_outstanding", "_results")
 
     def __init__(self, sim: "Simulator", events: list[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._outstanding = 0
+        # Child values are snapshotted here the moment each child fires.
+        # With Timeout pooling a fired child may be recycled and re-armed by
+        # unrelated code before the condition completes, so re-reading child
+        # state (``ev.value`` / ``ev._processed``) at collect time is unsound.
+        self._results: dict[Event, Any] = {}
         if not self.events:
             self._ok = True
             self._value = {}
@@ -143,6 +148,12 @@ class _Condition(Event):
         for ev in self.events:
             if ev.sim is not sim:
                 raise ValueError("all condition events must share a simulator")
+            if ev.callbacks is None and ev._ok:
+                # Already-processed children short-circuit _on_child once the
+                # condition triggers; snapshot them up front so they still
+                # appear in the collected value.
+                self._results[ev] = ev._value
+        for ev in self.events:
             self._outstanding += 1
             ev.add_callback(self._on_child)
 
@@ -150,7 +161,8 @@ class _Condition(Event):
         raise NotImplementedError
 
     def _collect(self) -> dict[Event, Any]:
-        return {ev: ev.value for ev in self.events if ev._processed and ev.ok}
+        results = self._results
+        return {ev: results[ev] for ev in self.events if ev in results}
 
 
 class AllOf(_Condition):
@@ -168,6 +180,7 @@ class AllOf(_Condition):
         if not ev.ok:
             self.fail(ConditionError(f"sub-event failed: {ev.value!r}"))
             return
+        self._results[ev] = ev._value
         self._outstanding -= 1
         if self._outstanding == 0:
             self.succeed(self._collect())
@@ -187,4 +200,5 @@ class AnyOf(_Condition):
         if not ev.ok:
             self.fail(ConditionError(f"sub-event failed: {ev.value!r}"))
             return
+        self._results[ev] = ev._value
         self.succeed(self._collect())

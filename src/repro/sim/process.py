@@ -103,7 +103,10 @@ class Process(Event):
         if waiting_on is not None and event is not waiting_on:
             # An interrupt arrived while waiting on _target: detach.
             self._detach_from_target()
-            self._target = None
+        # Drop the reference unconditionally: if the generator finishes or
+        # raises below, a retained _target would pin an event — under
+        # pooling, possibly a Timeout the kernel has since recycled.
+        self._target = None
         try:
             if event._ok:
                 target = self.gen.send(event._value)

@@ -14,6 +14,7 @@ byte-for-byte the same summary as the serial one.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -87,9 +88,11 @@ def run_replications(run: Callable[[int], float], seeds: Sequence[int],
     try:
         # Pool.map preserves input order: merged results are seed-ordered.
         return pool.map(run, seeds)
-    except Exception:
-        # Unpicklable closures and worker start-up failures degrade to the
-        # serial path rather than killing the sweep.
+    except (pickle.PicklingError, AttributeError, OSError):
+        # Unpicklable ``run`` callables (closures, lambdas) and worker
+        # start-up failures degrade to the serial path.  Anything else is a
+        # genuine model error from inside run(seed): let it propagate with
+        # its traceback instead of silently re-running the whole sweep.
         return [run(seed) for seed in seeds]
     finally:
         pool.close()

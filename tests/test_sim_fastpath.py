@@ -82,6 +82,65 @@ def test_pooled_timeout_readable_right_after_firing():
     assert seen == [(True, "payload")]
 
 
+def test_allof_values_survive_child_timeout_recycling():
+    # Regression: a fired AllOf child was recycled into the pool, re-armed
+    # by an unrelated sim.timeout() before the barrier completed, and its
+    # value vanished from the collected dict.  Values must be snapshotted
+    # at child-fire time, not re-read at collect time.
+    sim = Simulator()
+    t1 = sim.timeout(1.0, "x")
+    t2 = sim.timeout(2.0, "y")
+    barrier = sim.all_of([t1, t2])
+    stray = []
+    # Between the children's firings, an unrelated allocation reuses t1's
+    # pooled object and resets its state.
+    sim.call_at(1.2, lambda: stray.append(sim.timeout(5.0, "stray")))
+    got = []
+    barrier.add_callback(lambda ev: got.append(dict(ev.value)))
+    sim.run()
+    assert stray[0] is t1  # the child really was recycled and re-armed
+    assert got == [{t1: "x", t2: "y"}]
+
+
+def test_anyof_value_survives_child_timeout_recycling():
+    sim = Simulator()
+    t1 = sim.timeout(1.0, "first")
+    race = sim.any_of([t1, sim.timeout(3.0, "late")])
+    sim.call_at(1.5, lambda: sim.timeout(5.0, "stray"))
+    got = []
+    race.add_callback(lambda ev: got.append(list(ev.value.values())))
+    sim.run()
+    assert got == [["first"]]
+
+
+def test_condition_values_identical_pooling_on_off():
+    def collect(pooling):
+        sim = Simulator(pooling=pooling)
+        t1 = sim.timeout(1.0, "x")
+        t2 = sim.timeout(2.0, "y")
+        barrier = sim.all_of([t1, t2])
+        sim.call_at(1.2, lambda: sim.timeout(5.0))
+        got = []
+        barrier.add_callback(lambda ev: got.append(sorted(ev.value.values())))
+        sim.run()
+        return got
+
+    assert collect(True) == collect(False) == [["x", "y"]]
+
+
+def test_finished_process_drops_target_reference():
+    # A finished process must not pin its last awaited event — under
+    # pooling that object may already be living its next life.
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.triggered and p._target is None
+
+
 def test_deferred_calls_interleave_fifo_with_events():
     sim = Simulator()
     order = []

@@ -148,6 +148,13 @@ def _replication_body(seed: int) -> float:
     return finish[0]
 
 
+def _exploding_body(seed: int) -> float:
+    """Module-level body that fails for one seed (parallel error test)."""
+    if seed == 3:
+        raise ValueError(f"model blew up for seed {seed}")
+    return float(seed)
+
+
 class TestParallelReplications:
     def test_parallel_merge_identical_to_serial(self):
         seeds = list(range(1, 9))
@@ -159,3 +166,20 @@ class TestParallelReplications:
         seeds = [3, 1, 4, 1, 5]
         assert (replicate_parallel(_replication_body, seeds)
                 == replicate(_replication_body, seeds))
+
+    def test_model_error_propagates_from_parallel_run(self):
+        # A genuine model error must surface, not trigger the serial
+        # fallback (which would re-run the sweep and hide the traceback).
+        with pytest.raises(ValueError, match="seed 3"):
+            run_replications(_exploding_body, [1, 2, 3, 4], max_workers=2)
+
+    def test_unpicklable_body_falls_back_to_serial(self):
+        calls = []
+
+        def local_body(seed):  # closure: not picklable for a process pool
+            calls.append(seed)
+            return float(seed)
+
+        out = run_replications(local_body, [1, 2, 3], max_workers=2)
+        assert out == [1.0, 2.0, 3.0]
+        assert calls == [1, 2, 3]  # ran (serially) in seed order
