@@ -7,22 +7,80 @@ incrementally, at any time"; and "upgrades could be applied incrementally
 pair that takes a trespass outage on every active-controller failure.
 
 Reproduces: a 90-day stochastic failure campaign (controller MTBF 2000 h,
-MTTR 6 h) against an N-blade cluster and an active-passive pair; plus a
-rolling upgrade with zero service downtime.
+MTTR 6 h) against an N-blade cluster and an active-passive pair; a
+FaultPlan-driven campaign through the full stack with per-component MTTR
+accounting; plus a rolling upgrade with zero service downtime.
+
+Standalone smoke mode (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_e12_availability.py --quick
 """
 
 from _common import run_one
 
+from repro import FaultKind, FaultPlan, NetStorageSystem, SystemConfig
 from repro.baseline import DualControllerArray
 from repro.cluster import ControllerCluster
 from repro.core import format_table, print_experiment
 from repro.hardware import FailureInjector
 from repro.sim import RngStreams, Simulator
-from repro.sim.units import days, hours
+from repro.sim.faults import FAULT_EXCEPTIONS
+from repro.sim.units import days, hours, mib
 
 HORIZON = days(90)
 MTBF = hours(2000)
 MTTR = hours(6)
+
+#: The canned three-blade-crash campaign for E12c and the CI smoke run:
+#: staggered crashes with MTTR-scale outages, a gray failure, and a
+#: transient backing-I/O burst, over a one-week horizon.
+CAMPAIGN_HORIZON = days(7)
+
+
+def canned_fault_plan() -> FaultPlan:
+    return (FaultPlan()
+            .add(hours(10), FaultKind.BLADE_CRASH, "blade1",
+                 duration=hours(6))
+            .add(hours(50), FaultKind.BLADE_CRASH, "blade2",
+                 duration=hours(4))
+            .add(hours(100), FaultKind.BLADE_CRASH, "blade0",
+                 duration=hours(8))
+            .add(hours(72), FaultKind.SLOW_NODE, "blade3",
+                 duration=hours(2), severity=4.0)
+            .add(hours(120), FaultKind.TRANSIENT_IO, "cache", severity=2.0))
+
+
+def faultplan_campaign(plan: FaultPlan | None = None,
+                       horizon: float = CAMPAIGN_HORIZON):
+    """Run the canned campaign through a full NetStorageSystem.
+
+    Returns ``(system, injector, io_ok, io_failed)`` — the injector's
+    trackers carry the per-component availability/MTTR the experiment
+    reports.
+    """
+    sim = Simulator()
+    system = NetStorageSystem(sim, SystemConfig(
+        blade_count=4, disk_count=16, disk_capacity=mib(64),
+        seed=42, observability=True))
+    system.start()
+    system.create("/campaign/data")
+    injector = system.attach_faults(plan if plan is not None
+                                    else canned_fault_plan())
+    outcome = {"ok": 0, "failed": 0}
+
+    def client():
+        while sim.now < horizon:
+            try:
+                yield system.write("/campaign/data", 0, mib(1))
+                yield system.read("/campaign/data", 0, mib(1))
+                outcome["ok"] += 1
+            except FAULT_EXCEPTIONS:
+                outcome["failed"] += 1
+            yield sim.timeout(hours(1))
+
+    sim.process(client())
+    sim.run(until=horizon)
+    return system, injector, outcome["ok"], outcome["failed"]
 
 
 def cluster_availability(blade_count: int, seed: int) -> float:
@@ -97,6 +155,58 @@ def test_e12a_availability_campaign(benchmark):
     assert by_label["active-active pair"] >= by_label["active-passive pair"]
 
 
+def test_e12c_faultplan_campaign(benchmark):
+    """The fault-injection framework end to end: a typed, replayable
+    FaultPlan against the full stack, with MTTR and availability read off
+    the injector's recovery trackers instead of recomputed ad hoc."""
+    system, injector, io_ok, io_failed = run_one(
+        benchmark, faultplan_campaign)
+
+    summary = injector.summary()
+    crashed = ["blade0", "blade1", "blade2"]
+    rows = [[t, f"{injector.trackers[t].availability():.6f}",
+             round(injector.trackers[t].mttr() / 3600.0, 2),
+             injector.trackers[t].failures] for t in crashed]
+    rows.append(["worst (all targets)",
+                 f"{summary['worst_availability']:.6f}",
+                 round(summary["mttr_s"] / 3600.0, 2),
+                 int(summary["failures"])])
+    print_experiment(
+        "E12c (§6.3, fault framework)",
+        "7-day canned FaultPlan: 3 blade crashes + slow node + transient "
+        f"I/O burst; client I/O {io_ok} ok / {io_failed} failed",
+        format_table(["target", "availability", "MTTR h", "failures"],
+                     rows))
+
+    assert summary["faults_applied"] == 5.0
+    assert summary["failures"] == 3.0           # the three crashes
+    # Non-zero MTTR: (6 + 4 + 8) / 3 hours of repair on average.
+    assert summary["mttr_s"] == hours(6)
+    # Every crashed blade recovered, and the outage cost shows up in its
+    # availability without zeroing it.
+    for target in crashed:
+        tracker = injector.trackers[target]
+        assert tracker.state.value == "up"
+        assert 0.9 < tracker.availability() < 1.0
+    # The cluster as a whole kept serving: failures never overlapped, so
+    # at most one blade was down at a time.
+    assert system.cluster.service_availability() == 1.0
+    assert io_ok > 0
+
+
+def test_e12d_empty_plan_is_fault_free(benchmark):
+    """An armed-but-empty plan is the control: no outages, no MTTR, and
+    perfect availability — the framework itself costs nothing."""
+    _system, injector, io_ok, io_failed = run_one(
+        benchmark, lambda: faultplan_campaign(plan=FaultPlan(),
+                                              horizon=days(1)))
+    summary = injector.summary()
+    assert summary["faults_applied"] == 0.0
+    assert summary["mttr_s"] == 0.0
+    assert summary["worst_availability"] == 1.0
+    assert io_failed == 0 and io_ok > 0
+
+
 def test_e12b_rolling_upgrade_zero_downtime(benchmark):
     def run():
         sim = Simulator()
@@ -118,3 +228,46 @@ def test_e12b_rolling_upgrade_zero_downtime(benchmark):
                        round(cluster.service_availability(), 6)]]))
     assert upgrade.upgraded == [0, 1, 2, 3]
     assert cluster.service_availability() == 1.0
+
+
+def _smoke(quick: bool) -> int:
+    """Standalone (no pytest) campaign run for the CI faults-smoke job."""
+    horizon = days(2) if quick else CAMPAIGN_HORIZON
+    plan = canned_fault_plan() if not quick else (
+        FaultPlan()
+        .add(hours(10), FaultKind.BLADE_CRASH, "blade1", duration=hours(6))
+        .add(hours(30), FaultKind.TRANSIENT_IO, "cache", severity=2.0))
+    system, injector, io_ok, io_failed = faultplan_campaign(plan, horizon)
+    summary = injector.summary()
+    print(format_table(
+        ["metric", "value"],
+        [["horizon (days)", round(horizon / days(1), 1)],
+         ["faults applied", int(summary["faults_applied"])],
+         ["service-affecting failures", int(summary["failures"])],
+         ["MTTR (h)", round(summary["mttr_s"] / 3600.0, 2)],
+         ["worst availability", f"{summary['worst_availability']:.6f}"],
+         ["client I/O ok/failed", f"{io_ok}/{io_failed}"]]))
+    problems = []
+    if summary["faults_applied"] != float(len(plan)):
+        problems.append("not every armed fault was applied")
+    if not summary["worst_availability"] > 0.0:
+        problems.append("availability collapsed to zero")
+    if summary["failures"] > 0 and not summary["mttr_s"] > 0.0:
+        problems.append("outages occurred but MTTR is zero")
+    if io_ok == 0:
+        problems.append("no client I/O completed")
+    for line in problems:
+        print(f"FAIL: {line}")
+    print("faults-smoke:", "FAIL" if problems else "OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="E12 availability campaign (standalone smoke mode)")
+    parser.add_argument("--quick", action="store_true",
+                        help="2-day campaign with a reduced fault plan")
+    sys.exit(_smoke(parser.parse_args().quick))

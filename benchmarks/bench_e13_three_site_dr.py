@@ -175,3 +175,66 @@ def test_e13b_metadata_center_full_stack(benchmark):
     assert report.new_homes["/exp/results"] == "seattle"
     assert timing["repeat_local_ms"] < timing["first_remote_ms"]
     assert center.replicator.files["/exp/results"].home == "seattle"
+
+
+def test_e13c_faultplan_drives_site_loss(benchmark):
+    """The same disaster, injected: a FaultPlan schedules the Edmonton
+    site loss (DR-coordinated) and a WAN flap as kernel events, and the
+    injector's trackers report the outage instead of the scenario calling
+    ``fail_site`` by hand."""
+    from repro import FaultInjector, FaultKind, FaultPlan  # noqa: F401
+    from repro.core import SystemConfig
+    from repro.geo import MetadataCenter
+
+    def run():
+        sim = Simulator()
+        center = MetadataCenter(sim, {
+            "edmonton": (0.0, 0.0),
+            "seattle": (150.0, -1100.0),
+            "boulder": (1400.0, -1500.0),
+        }, config=SystemConfig(blade_count=2, disk_count=8,
+                               disk_capacity=mib(64),
+                               cache_bytes_per_blade=mib(8)))
+        center.connect("edmonton", "seattle", bandwidth=gbps(2.5))
+        center.connect("seattle", "boulder", bandwidth=gbps(1.0))
+        center.connect("edmonton", "boulder", bandwidth=gbps(0.622))
+        center.create("/exp/results", home="edmonton",
+                      policy=POLICIES["sync1"])
+
+        plan = (FaultPlan()
+                .add(30.0, FaultKind.SITE_LOSS, "edmonton", duration=300.0)
+                .add(60.0, FaultKind.LINK_FLAP, "wan:seattle<->boulder",
+                     duration=30.0))
+        injector = center.attach_faults(plan)
+
+        def scenario():
+            yield center.write("/exp/results", 0, mib(2))
+            # The disaster fires at t=30 from the plan, the site power
+            # returns at t=330; write again once the dust settles.
+            yield sim.timeout(400.0)
+            yield center.write("/exp/results", 0, mib(1))
+
+        p = sim.process(scenario())
+        sim.run(until=p)
+        return center, injector, sim.now
+
+    center, injector, elapsed = run_one(benchmark, run)
+    site = injector.trackers["edmonton"]
+    link = injector.trackers["wan:seattle<->boulder"]
+    print_experiment(
+        "E13c (Figure 3, injected)",
+        "FaultPlan-scheduled Edmonton disaster + WAN flap",
+        format_table(["metric", "value"],
+                     [["edmonton outage (s)", round(site.mttr(), 1)],
+                      ["edmonton availability",
+                       round(site.availability(), 4)],
+                      ["wan flap outage (s)", round(link.mttr(), 1)],
+                      ["new home of /exp/results",
+                       center.replicator.files["/exp/results"].home]]))
+    # The DR coordinator ran off the injected fault: the file failed over.
+    assert center.replicator.files["/exp/results"].home == "seattle"
+    assert site.failures == 1
+    assert site.mttr() == 300.0
+    assert site.state.value == "up"        # power restored at t=330
+    assert link.failures == 1 and link.mttr() == 30.0
+    assert 0.0 < site.availability() < 1.0

@@ -26,8 +26,10 @@ Quick start::
 """
 
 from .core import NetStorageSystem, SystemConfig
+from .faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy
 from .sim import Simulator
 
 __version__ = "1.0.0"
 
-__all__ = ["NetStorageSystem", "Simulator", "SystemConfig", "__version__"]
+__all__ = ["FaultInjector", "FaultKind", "FaultPlan", "NetStorageSystem",
+           "RetryPolicy", "Simulator", "SystemConfig", "__version__"]

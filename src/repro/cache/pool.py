@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..faults.retry import NO_RETRY, RetryPolicy, retry_call
 from ..hardware.blade import ControllerBlade
 from ..obs.telemetry import ComponentHealth, HealthState
 from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
+from ..sim.faults import (FAULT_EXCEPTIONS, SimulatedFault, TransientIOError,
+                          is_fault)
 from ..sim.link import FairShareLink
 from ..sim.resources import Store
 from ..sim.stats import MetricSet
@@ -36,8 +39,13 @@ BackingRead = Callable[[BlockKey, int], Event]
 BackingWrite = Callable[[BlockKey, int], Event]
 
 
-class ReplicationError(Exception):
-    """Not enough live blades to satisfy the requested replica count."""
+class ReplicationError(SimulatedFault):
+    """Not enough live blades to satisfy the requested replica count.
+
+    A :class:`~repro.sim.faults.SimulatedFault`: it only arises when
+    injected blade failures shrink the pool, so retry/degraded-mode
+    handling may catch it.
+    """
 
 
 class CacheCluster:
@@ -53,7 +61,8 @@ class CacheCluster:
                  block_size: int = 64 * 1024,
                  replication: int = 2,
                  interconnect_bandwidth: float | None = None,
-                 interconnect_latency: float = us(25)) -> None:
+                 interconnect_latency: float = us(25),
+                 retry_policy: RetryPolicy = NO_RETRY) -> None:
         if not blades:
             raise ValueError("cache cluster needs at least one blade")
         if replication < 1:
@@ -90,6 +99,13 @@ class CacheCluster:
         self._dirty_queue = Store(sim)
         self._dirty_pending: set[BlockKey] = set()
         self._destager_running = False
+        #: Recovery policy for backing-store I/O (miss fills, destages).
+        #: The NO_RETRY default reproduces pre-framework behavior exactly.
+        self.retry_policy = retry_policy
+        #: Injected transient-I/O faults: the next N backing reads/writes
+        #: fail with TransientIOError (the fault injector's hook).
+        self._forced_read_faults = 0
+        self._forced_write_faults = 0
 
     # -- helpers -----------------------------------------------------------------
 
@@ -118,6 +134,37 @@ class CacheCluster:
 
             self.directory.observer = watch
         return obs
+
+    def inject_backing_faults(self, count: int, op: str = "read") -> None:
+        """Force the next ``count`` backing reads (or writes) to fail with
+        :class:`~repro.sim.faults.TransientIOError` — the fault injector's
+        transient-I/O hook."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if op == "read":
+            self._forced_read_faults += count
+        elif op == "write":
+            self._forced_write_faults += count
+        else:
+            raise ValueError(f"op must be read/write, got {op!r}")
+
+    def _backing(self, key: BlockKey, nbytes: int, op: str) -> Event:
+        """One backing-store attempt, honouring injected transient faults."""
+        if op == "read":
+            if self._forced_read_faults > 0:
+                self._forced_read_faults -= 1
+                failed = Event(self.sim)
+                failed.fail(TransientIOError(
+                    f"injected backing read fault on {key}"))
+                return failed
+            return self.backing_read(key, nbytes)
+        if self._forced_write_faults > 0:
+            self._forced_write_faults -= 1
+            failed = Event(self.sim)
+            failed.fail(TransientIOError(
+                f"injected backing write fault on {key}"))
+            return failed
+        return self.backing_write(key, nbytes)
 
     def live_blades(self) -> list[int]:
         """Blade ids currently UP, in stable order."""
@@ -177,8 +224,14 @@ class CacheCluster:
             return
         self._ctr_miss.incr()
         try:
-            yield self.backing_read(key, self.block_size)
-        except Exception as exc:
+            yield from retry_call(
+                self.sim, lambda: self._backing(key, self.block_size, "read"),
+                self.retry_policy, component="cache.pool")
+        except FAULT_EXCEPTIONS as exc:
+            # Only simulated failures are a miss-fill outcome; a wrapped
+            # TypeError/KeyError is a model bug and must crash the run.
+            if not is_fault(exc):
+                raise
             self.metrics.counter("read.backing_errors").incr()
             done.fail(exc)
             return
@@ -217,8 +270,13 @@ class CacheCluster:
             span.annotate(tier="disk")
             try:
                 with span.child("backing.read"):
-                    yield self.backing_read(key, self.block_size)
-            except Exception as exc:
+                    yield from retry_call(
+                        self.sim,
+                        lambda: self._backing(key, self.block_size, "read"),
+                        self.retry_policy, component="cache.pool")
+            except FAULT_EXCEPTIONS as exc:
+                if not is_fault(exc):
+                    raise  # programming error wrapped in a barrier: crash
                 self.metrics.counter("read.backing_errors").incr()
                 if obs is not None:
                     obs.log.error("cache.pool", "backing_read_failed",
@@ -314,8 +372,13 @@ class CacheCluster:
                 if obs is not None else NULL_SPAN)
         try:
             with span, span.child("backing.write"):
-                yield self.backing_write(key, self.block_size)
-        except Exception:
+                yield from retry_call(
+                    self.sim,
+                    lambda: self._backing(key, self.block_size, "write"),
+                    self.retry_policy, component="cache.pool")
+        except FAULT_EXCEPTIONS as exc:
+            if not is_fault(exc):
+                raise  # a destage bug must not masquerade as a retry
             # Destage target failed (disk rebuild pending): keep the block
             # dirty and pinned; retry on a later pass.
             self.metrics.counter("destage.errors").incr()
@@ -410,6 +473,18 @@ class CacheCluster:
                 obs.log.error("cache.pool", "blade_cache_lost",
                               blade=blade_id, salvaged=len(salvaged))
         return len(salvaged), len(lost)
+
+    def on_blade_repair(self, blade_id: int) -> None:
+        """A blade rejoined (replaced/rebooted) with a cold cache.
+
+        Nothing structural to restore — :meth:`on_blade_fail` already
+        dropped its contents and reassigned dirty owners — but the rejoin
+        is recorded so health/metrics reflect the recovery.
+        """
+        self.metrics.counter("failure.blade_repairs").incr()
+        obs = self._obs() if self.sim.obs is not None else None
+        if obs is not None:
+            obs.log.info("cache.pool", "blade_rejoined", blade=blade_id)
 
     # -- health ------------------------------------------------------------------------
 

@@ -85,6 +85,7 @@ class NetStorageSystem:
         # blades directly rather than waiting for heartbeat timeout.
         for blade in blades:
             blade.observe(self._on_blade_state)
+        self._failed_blades: set[int] = set()
         self._started = False
         self._raw_recent: list = []
         self._raw_cursor = 0
@@ -178,7 +179,28 @@ class NetStorageSystem:
     def _on_blade_state(self, blade: ControllerBlade) -> None:
         from ..hardware.blade import BladeState
         if blade.state is BladeState.FAILED:
+            self._failed_blades.add(blade.blade_id)
             self.cache.on_blade_fail(blade.blade_id)
+        elif blade.state is BladeState.UP \
+                and blade.blade_id in self._failed_blades:
+            # Repaired after a crash (a drain→up upgrade keeps its cache).
+            self._failed_blades.discard(blade.blade_id)
+            self.cache.on_blade_repair(blade.blade_id)
+
+    # -- fault injection --------------------------------------------------------------------
+
+    def attach_faults(self, plan=None, strict: bool = True):
+        """Bind a :class:`~repro.faults.injector.FaultInjector` to every
+        blade, disk, and the cache of this deployment; arm ``plan`` if
+        given.  Tracker health probes join the management plane when
+        observability is on."""
+        from ..faults.injector import FaultInjector
+        injector = FaultInjector(self.sim).bind_system(self)
+        if plan is not None:
+            injector.arm(plan, strict=strict)
+        if self.obs is not None:
+            injector.register_health(self.obs.mgmt)
+        return injector
 
     # -- client file API -------------------------------------------------------------------
 

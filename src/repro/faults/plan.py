@@ -1,0 +1,161 @@
+"""FaultPlan: a seeded, serializable schedule of typed faults.
+
+A plan is pure data — *what* breaks, *when*, for *how long* — decoupled
+from the components it will hit (the :class:`~repro.faults.injector.
+FaultInjector` binds names to objects at run time).  Plans are
+deterministic: hand-built ones replay exactly, and :meth:`FaultPlan.
+random` derives every draw from named :class:`~repro.sim.rng.RngStreams`
+substreams, so the same seed and rates always produce the same campaign
+regardless of what else the simulation draws.  ``to_json``/``from_json``
+round-trip a plan for checked-in CI fixtures and experiment provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+from ..sim.rng import RngStreams
+
+
+class FaultKind(str, Enum):
+    """The typed faults the injector knows how to apply.
+
+    ``str`` mixin so specs sort deterministically on time ties and plans
+    serialize without custom encoders.
+    """
+
+    BLADE_CRASH = "blade_crash"    # controller blade dies (cache contents lost)
+    DISK_FAIL = "disk_fail"        # spindle dies; declustered rebuild territory
+    LINK_FLAP = "link_flap"        # link down/up (partition when it's a WAN cut)
+    SITE_LOSS = "site_loss"        # whole-site disaster (§6.2)
+    SLOW_NODE = "slow_node"        # latency inflation, the gray failure
+    TRANSIENT_IO = "transient_io"  # one-shot backing I/O errors
+
+
+@dataclass(frozen=True, order=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``at`` is absolute simulated seconds.  ``duration`` > 0 schedules the
+    matching repair/clear that much later; 0 means permanent (until model
+    code repairs it).  ``severity`` is kind-specific: the slow-node
+    inflation factor, or the number of consecutive transient I/O errors.
+    """
+
+    at: float
+    kind: FaultKind
+    target: str
+    duration: float = 0.0
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+
+    def as_dict(self) -> dict:
+        return {"at": self.at, "kind": self.kind.value,
+                "target": self.target, "duration": self.duration,
+                "severity": self.severity}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "FaultSpec":
+        return cls(at=float(doc["at"]), kind=FaultKind(doc["kind"]),
+                   target=str(doc["target"]),
+                   duration=float(doc.get("duration", 0.0)),
+                   severity=float(doc.get("severity", 1.0)))
+
+
+class FaultPlan:
+    """An ordered, replayable fault campaign."""
+
+    def __init__(self, specs: Iterable[FaultSpec] = (),
+                 seed: int | None = None) -> None:
+        self.specs: list[FaultSpec] = sorted(specs)
+        self.seed = seed  # provenance only; None for hand-built plans
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, at: float, kind: FaultKind | str, target: str,
+            duration: float = 0.0, severity: float = 1.0) -> "FaultPlan":
+        """Append one fault (keeps the schedule sorted); returns self."""
+        spec = FaultSpec(at, FaultKind(kind), target, duration, severity)
+        self.specs.append(spec)
+        self.specs.sort()
+        return self
+
+    @classmethod
+    def random(cls, seed: int, horizon: float,
+               targets: Mapping[FaultKind | str, Iterable[str]],
+               mtbf: float, mttr: float,
+               slow_factor: float = 4.0,
+               transient_burst: int = 3) -> "FaultPlan":
+        """A stochastic campaign: exponential inter-fault times per target.
+
+        For every ``(kind, target)`` pair, fault arrivals are Poisson with
+        mean ``mtbf`` and each outage lasts an exponential ``mttr`` —
+        drawn from the substream named after the pair, so adding a target
+        never perturbs another target's timeline.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be > 0")
+        streams = RngStreams(seed)
+        specs: list[FaultSpec] = []
+        for raw_kind, names in sorted(targets.items(),
+                                      key=lambda kv: FaultKind(kv[0]).value):
+            kind = FaultKind(raw_kind)
+            for target in sorted(names):
+                rng = streams.stream(f"faultplan.{kind.value}.{target}")
+                t = 0.0
+                while True:
+                    t += float(rng.exponential(mtbf))
+                    if t >= horizon:
+                        break
+                    duration = float(rng.exponential(mttr))
+                    severity = 1.0
+                    if kind is FaultKind.SLOW_NODE:
+                        severity = slow_factor
+                    elif kind is FaultKind.TRANSIENT_IO:
+                        severity = float(transient_burst)
+                        duration = 0.0  # nothing to repair
+                    specs.append(FaultSpec(t, kind, target, duration,
+                                           severity))
+                    t += duration  # next uptime starts after the repair
+        return cls(specs, seed=seed)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def by_kind(self, kind: FaultKind | str) -> list[FaultSpec]:
+        kind = FaultKind(kind)
+        return [s for s in self.specs if s.kind is kind]
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Deterministic JSON document for fixtures and provenance."""
+        doc = {"seed": self.seed,
+               "faults": [s.as_dict() for s in self.specs]}
+        return json.dumps(doc, sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        return cls((FaultSpec.from_dict(d) for d in doc.get("faults", [])),
+                   seed=doc.get("seed"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = sorted({s.kind.value for s in self.specs})
+        return (f"<FaultPlan {len(self.specs)} faults "
+                f"seed={self.seed} kinds={kinds}>")

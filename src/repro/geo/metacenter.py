@@ -22,6 +22,7 @@ from ..core.system import NetStorageSystem
 from ..fs.metadata import Inode
 from ..fs.policies import DEFAULT_POLICY, FilePolicy
 from ..sim.events import Event
+from ..sim.faults import is_fault
 from ..sim.units import gbps
 from .dr import DisasterRecoveryCoordinator, RecoveryReport
 from .migration import DistributedAccessManager
@@ -113,9 +114,23 @@ class MetadataCenter:
                          name="meta.write")
         return done
 
+    def _log_failure(self, kind: str, path: str, exc: BaseException) -> None:
+        """Failures crossing this boundary go through the event log with a
+        severity matching their nature: injected faults are operational
+        WARNINGs, anything else is a model bug and logs as ERROR."""
+        obs = self.sim.obs
+        if obs is None:
+            return
+        log = obs.log.warning if is_fault(exc) else obs.log.error
+        log("geo.metacenter", kind, path=path, error=type(exc).__name__)
+
     def _write(self, path: str, offset: int, nbytes: int,
                at: str | None, done: Event):
-        home = self.replicator.files[path].home
+        gf = self.replicator.files.get(path)
+        if gf is None:
+            done.fail(KeyError(f"unknown file {path!r}"))
+            return
+        home = gf.home
         writer = at or home
         try:
             if writer != home:
@@ -128,6 +143,10 @@ class MetadataCenter:
                                          now=self.sim.now)
             yield self.replicator.write(path, nbytes)
         except Exception as exc:
+            # Documented process boundary: ``done`` must fire or the
+            # caller hangs, so even non-fault errors surface through the
+            # event — logged first, never silently swallowed.
+            self._log_failure("write_failed", path, exc)
             done.fail(exc)
             return
         done.succeed(nbytes)
@@ -161,6 +180,9 @@ class MetadataCenter:
             for block in range(first, min(last + 1, fr.block_count)):
                 yield self.access.read(path, block, self.network.sites[at])
         except Exception as exc:
+            # Documented process boundary (see _write): log with severity,
+            # then surface through the completion event.
+            self._log_failure("read_failed", path, exc)
             done.fail(exc)
             return
         done.succeed(nbytes)
@@ -170,6 +192,16 @@ class MetadataCenter:
     def fail_site(self, name: str) -> Event:
         """Complete site disaster; event value is the RecoveryReport."""
         return self.dr.fail_site(self.network.sites[name])
+
+    def attach_faults(self, plan=None, strict: bool = True):
+        """Bind a :class:`~repro.faults.injector.FaultInjector` across
+        every site (DR-coordinated loss), WAN link, and per-site system;
+        arm ``plan`` if given."""
+        from ..faults.injector import FaultInjector
+        injector = FaultInjector(self.sim).bind_metacenter(self)
+        if plan is not None:
+            injector.arm(plan, strict=strict)
+        return injector
 
     def report(self) -> dict[str, float]:
         """One management view over the whole distributed system (§7.3)."""

@@ -16,13 +16,15 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import TYPE_CHECKING
 
+from ..faults.retry import RetryPolicy
 from ..fs.policies import FilePolicy, ReplicationMode
 from ..obs.telemetry import ComponentHealth, HealthState
 from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.stats import MetricSet
 from .site import Site
-from .wan import NoRouteError, WanNetwork
+from .wan import WanNetwork
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.telemetry import ManagementPlane
@@ -57,6 +59,14 @@ class GeoReplicator:
         #: (replication lag = the RPO exposure the operator must watch).
         self.backlog_warn_bytes = 64 * 1024 * 1024
         self._lag_alerted: set[str] = set()
+        #: Backoff schedule for a stalled pump (WAN cut / site down): the
+        #: shared RetryPolicy shape instead of a fixed ad-hoc idle wait.
+        self.pump_retry = RetryPolicy(attempts=10, base_delay=0.005,
+                                      multiplier=2.0, max_delay=2.0)
+        #: Sites currently observed down, edge-triggered: a site raising
+        #: from both its link and its store in the same tick is counted as
+        #: ONE outage transition, not two.
+        self._down_sites: set[str] = set()
 
     # -- registration ----------------------------------------------------------------
 
@@ -87,6 +97,27 @@ class GeoReplicator:
         return self.network.neighbors_by_distance(
             origin, policy.min_distance_km)[:policy.replication_sites]
 
+    # -- outage accounting (edge-triggered) ---------------------------------------------
+
+    def _note_site_down(self, site_name: str) -> None:
+        """Count one down transition per outage, however many call sites
+        observe it (link failure and site failure often raise in the same
+        tick — that is still one outage)."""
+        if site_name in self._down_sites:
+            return
+        self._down_sites.add(site_name)
+        self.metrics.counter("site.down_transitions").incr()
+        if self.sim.obs is not None:
+            self.sim.obs.log.error("geo.replication", "site_down",
+                                   site=site_name)
+
+    def _note_site_up(self, site_name: str) -> None:
+        if site_name in self._down_sites:
+            self._down_sites.discard(site_name)
+            if self.sim.obs is not None:
+                self.sim.obs.log.info("geo.replication", "site_recovered",
+                                      site=site_name)
+
     # -- the write path -----------------------------------------------------------------
 
     def write(self, path: str, nbytes: int) -> Event:
@@ -113,12 +144,19 @@ class GeoReplicator:
             try:
                 with span.child("site.store", site=origin.name):
                     yield origin.store_write(nbytes)
-            except Exception as exc:  # site down
+            except FAULT_EXCEPTIONS as exc:
+                # Injected outage (site down, blades gone).  A wrapped
+                # model bug is NOT a site outage: re-raise it.
+                if not is_fault(exc):
+                    raise
+                self._note_site_down(origin.name)
                 if obs is not None:
                     obs.log.error("geo.replication", "home_write_failed",
-                                  path=path, site=origin.name)
+                                  path=path, site=origin.name,
+                                  error=type(exc).__name__)
                 done.fail(exc)
                 return
+            self._note_site_up(origin.name)
             gf.size += nbytes
             targets = self.replica_targets(gf, origin)
             if mode is ReplicationMode.SYNC and targets:
@@ -126,8 +164,26 @@ class GeoReplicator:
                 for target in targets:
                     transfers.append(self._replicate_to(gf, origin, target,
                                                         nbytes, parent=span))
-                with span.child("geo.sync_replicate", targets=len(targets)):
-                    yield self.sim.all_of(transfers)
+                try:
+                    with span.child("geo.sync_replicate",
+                                    targets=len(targets)):
+                        yield self.sim.all_of(transfers)
+                except FAULT_EXCEPTIONS as exc:
+                    # A sync target died mid-replication: the write must
+                    # fail *visibly* (previously this barrier was uncaught
+                    # and the caller hung on a never-firing event).
+                    if not is_fault(exc):
+                        raise
+                    for target in targets:
+                        if target.failed:
+                            self._note_site_down(target.name)
+                    self.metrics.counter("sync.failures").incr()
+                    if obs is not None:
+                        obs.log.error("geo.replication",
+                                      "sync_replicate_failed", path=path,
+                                      error=type(exc).__name__)
+                    done.fail(exc)
+                    return
                 for target in targets:
                     gf.copies.add(target.name)
                 self.metrics.tally("sync.ack_latency").record(
@@ -151,11 +207,20 @@ class GeoReplicator:
             span = (obs.tracer.span("geo.wan_hop", parent=parent,
                                     target=target.name, nbytes=nbytes)
                     if obs is not None else NULL_SPAN)
-            with span:
-                yield self.network.transfer(origin, target, nbytes)
-                yield target.store_write(nbytes)
-                # The remote site's acknowledgment rides back one-way.
-                yield self.sim.timeout(self.network.rtt(origin, target) / 2.0)
+            try:
+                with span:
+                    yield self.network.transfer(origin, target, nbytes)
+                    yield target.store_write(nbytes)
+                    # The remote site's acknowledgment rides back one-way.
+                    yield self.sim.timeout(
+                        self.network.rtt(origin, target) / 2.0)
+            except FAULT_EXCEPTIONS as exc:
+                # ``done`` must fire even when the route/target dies, or
+                # the sync barrier upstream waits forever.
+                if not is_fault(exc):
+                    raise
+                done.fail(exc)
+                return
             self.metrics.rate("wan.replication_bytes").record(nbytes)
             done.succeed()
 
@@ -193,9 +258,16 @@ class GeoReplicator:
         self.sim.process(self._pump(target_name), name=f"geo.pump.{target_name}")
 
     def _pump(self, target_name: str, idle_wait: float = 0.005):
-        """Background drain of all async backlog headed to one site."""
+        """Background drain of all async backlog headed to one site.
+
+        Stalls (WAN cut, site down) back off along the shared
+        :class:`RetryPolicy` schedule rather than hammering a dead route
+        at a fixed cadence; the first success resets the backoff.
+        """
         target = self.network.sites[target_name]
+        policy = self.pump_retry
         idle_rounds = 0
+        stalls = 0
         while idle_rounds < 200:  # park the pump after sustained idleness
             item = next(((p, t) for (p, t), b in self.async_backlog.items()
                          if t == target_name and b > 0), None)
@@ -209,17 +281,33 @@ class GeoReplicator:
             origin = self.network.sites[gf.home]
             chunk = min(self.async_backlog[item], 8 * 1024 * 1024)
             if origin.failed or target.failed:
-                yield self.sim.timeout(idle_wait)
+                self._note_site_down(origin.name if origin.failed
+                                     else target.name)
+                stalls = min(stalls + 1, policy.attempts)
+                yield self.sim.timeout(policy.backoff(stalls))
                 continue
             try:
                 yield self.network.transfer(origin, target, chunk)
                 yield target.store_write(chunk)
-            except (NoRouteError, Exception):
+            except FAULT_EXCEPTIONS as exc:
+                # Route or target failed under us; a wrapped model bug
+                # must crash the pump loudly instead of "stalling".
+                if not is_fault(exc):
+                    raise
+                if target.failed:
+                    self._note_site_down(target.name)
+                stalls = min(stalls + 1, policy.attempts)
+                delay = policy.backoff(stalls)
                 if self.sim.obs is not None:
                     self.sim.obs.log.warning("geo.replication", "pump_stalled",
-                                             target=target_name)
-                yield self.sim.timeout(idle_wait)
+                                             target=target_name,
+                                             error=type(exc).__name__,
+                                             backoff=round(delay, 6))
+                yield self.sim.timeout(delay)
                 continue
+            stalls = 0
+            self._note_site_up(origin.name)
+            self._note_site_up(target.name)
             self.async_backlog[item] -= chunk
             self.metrics.rate("wan.replication_bytes").record(chunk)
             self._check_lag(target_name)
@@ -258,12 +346,21 @@ class GeoReplicator:
         target's async backlog exceeds the warning watermark."""
         backlog = sum(self.async_backlog.values())
         lagging = sorted(self._lag_alerted)
-        state = HealthState.DEGRADED if lagging else HealthState.UP
+        if self._down_sites:
+            state = HealthState.FAILED
+            detail = f"sites down: {','.join(sorted(self._down_sites))}"
+        elif lagging:
+            state = HealthState.DEGRADED
+            detail = f"lagging: {','.join(lagging)}"
+        else:
+            state = HealthState.UP
+            detail = ""
         return ComponentHealth("geo.replication", state, metrics={
             "backlog_bytes": float(backlog),
             "files": float(len(self.files)),
             "pumps_running": float(len(self._pump_running)),
-        }, detail=f"lagging: {','.join(lagging)}" if lagging else "")
+            "down_sites": float(len(self._down_sites)),
+        }, detail=detail)
 
     def register_health(self, mgmt: "ManagementPlane") -> None:
         mgmt.register("geo.replication", self.health)

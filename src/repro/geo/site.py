@@ -6,6 +6,7 @@ import math
 from typing import TYPE_CHECKING
 
 from ..sim.events import Event
+from ..sim.faults import SimulatedFault
 from ..sim.link import FairShareLink
 from ..sim.units import mb_per_s, ms
 
@@ -13,7 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
 
 
-class SiteFailedError(Exception):
+class SiteFailedError(SimulatedFault):
     """I/O issued to a site that is down (disaster in progress)."""
 
 

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 import networkx as nx
 
 from ..sim.events import Event
+from ..sim.faults import SimulatedFault
 from ..sim.link import FairShareLink
 from ..sim.units import gbps, wan_latency
 from .site import Site
@@ -23,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
 
 
-class NoRouteError(Exception):
+class NoRouteError(SimulatedFault):
     """No surviving path between two sites."""
 
 
@@ -94,13 +95,20 @@ class WanNetwork:
     # -- routing ------------------------------------------------------------------------
 
     def route(self, src: Site, dst: Site) -> list[WanLink]:
-        """Surviving latency-shortest path; raises NoRouteError if cut."""
+        """Surviving latency-shortest path; raises NoRouteError if cut.
+
+        Skips failed sites *and* flapped-down links, so a partition heals
+        itself through an alternate fibre when the topology has one.
+        """
         if src.failed or dst.failed:
             raise NoRouteError(
                 f"endpoint down: {src.name if src.failed else dst.name}")
-        usable = self.graph.subgraph(
-            [name for name, site in self.sites.items()
-             if not site.failed or name in (src.name, dst.name)])
+        endpoints = (src.name, dst.name)
+        usable = nx.subgraph_view(
+            self.graph,
+            filter_node=lambda name: (not self.sites[name].failed
+                                      or name in endpoints),
+            filter_edge=lambda u, v: not self.graph.edges[u, v]["link"].failed)
         try:
             names = nx.shortest_path(usable, src.name, dst.name,
                                      weight="weight")

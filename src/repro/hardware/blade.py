@@ -13,6 +13,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Callable, Generator
 
 from ..obs.telemetry import ComponentHealth, HealthState
+from ..sim.faults import SimulatedFault
 from ..sim.resources import Resource
 from ..sim.stats import TimeWeighted
 from ..sim.units import gib, us
@@ -33,7 +34,7 @@ class BladeState(Enum):
     DRAINING = "draining"  # rolling upgrade: finishing work, taking no new
 
 
-class BladeFailedError(Exception):
+class BladeFailedError(SimulatedFault):
     """Raised when work is dispatched to a blade that is not UP."""
 
 
@@ -74,6 +75,9 @@ class ControllerBlade:
                                             name=f"{self.name}.eth")
         self.cpu_utilization = TimeWeighted(sim)
         self.ios_processed = 0
+        #: Slow-node fault: firmware CPU costs scale by this factor (1.0 =
+        #: nominal); the fault injector inflates and later restores it.
+        self.slow_factor = 1.0
         self._fc_rr = 0
         self._observers: list[Callable[["ControllerBlade"], None]] = []
 
@@ -106,14 +110,34 @@ class ControllerBlade:
                 self.sim.obs.log.warning(self.name, "blade_draining")
             self._notify()
 
+    def set_slow(self, factor: float) -> None:
+        """Inflate per-I/O firmware latency (slow-node fault injection)."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1.0, got {factor}")
+        self.slow_factor = factor
+        if factor > 1.0 and self.sim.obs is not None:
+            self.sim.obs.log.warning(self.name, "blade_slow", factor=factor)
+
+    def clear_slow(self) -> None:
+        """Restore nominal firmware latency after a slow-node fault."""
+        self.slow_factor = 1.0
+        if self.sim.obs is not None:
+            self.sim.obs.log.info(self.name, "blade_slow_cleared")
+
     def health(self) -> ComponentHealth:
         """Management-plane snapshot of this blade."""
-        return ComponentHealth(self.name, _STATE_HEALTH[self.state.value],
-                               metrics={
+        state = _STATE_HEALTH[self.state.value]
+        if state is HealthState.UP and self.slow_factor > 1.0:
+            state = HealthState.DEGRADED
+        detail = self.state.value
+        if self.slow_factor > 1.0:
+            detail += f" (slow x{self.slow_factor:g})"
+        return ComponentHealth(self.name, state, metrics={
             "cpu_utilization": self.cpu_utilization.mean(),
             "ios_processed": float(self.ios_processed),
             "cache_bytes": float(self.cache_bytes),
-        }, detail=self.state.value)
+            "slow_factor": self.slow_factor,
+        }, detail=detail)
 
     def observe(self, fn: Callable[["ControllerBlade"], None]) -> None:
         """Register a membership observer (cluster manager hooks in here)."""
@@ -127,7 +151,8 @@ class ControllerBlade:
 
     def io_cpu_cost(self, nbytes: int) -> float:
         """CPU seconds the firmware spends on one request of ``nbytes``."""
-        return self.cpu_per_io + self.cpu_per_byte * nbytes
+        return (self.cpu_per_io + self.cpu_per_byte * nbytes) \
+            * self.slow_factor
 
     def execute(self, cpu_seconds: float) -> Generator:
         """Occupy one CPU core for ``cpu_seconds`` (a process fragment).

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from ..sim.events import Event
+from ..sim.faults import SimulatedFault
 from ..sim.resources import PriorityResource
 from ..sim.stats import TimeWeighted
 
@@ -21,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
 
 
-class DiskFailedError(Exception):
+class DiskFailedError(SimulatedFault):
     """Raised (via event failure) when I/O is issued to a failed disk."""
 
 

@@ -30,15 +30,18 @@ class HealthState(Enum):
 
     UP = "up"
     DEGRADED = "degraded"
+    RECOVERING = "recovering"  # post-failure repair in progress (MTTR window)
     FAILED = "failed"
     UNKNOWN = "unknown"
 
 
 #: Aggregation order (worst wins) and Prometheus gauge value per state.
 _STATE_RANK = {HealthState.UP: 0, HealthState.DEGRADED: 1,
-               HealthState.UNKNOWN: 2, HealthState.FAILED: 3}
+               HealthState.RECOVERING: 2, HealthState.UNKNOWN: 3,
+               HealthState.FAILED: 4}
 _STATE_GAUGE = {HealthState.UP: 1.0, HealthState.DEGRADED: 0.5,
-                HealthState.UNKNOWN: 0.25, HealthState.FAILED: 0.0}
+                HealthState.RECOVERING: 0.4, HealthState.UNKNOWN: 0.25,
+                HealthState.FAILED: 0.0}
 
 
 @dataclass
@@ -142,7 +145,7 @@ class ManagementPlane:
         snapshot = self.poll()
         lines = [
             f"# HELP {prefix}_health component health "
-            "(1=up 0.5=degraded 0.25=unknown 0=failed)",
+            "(1=up 0.5=degraded 0.4=recovering 0.25=unknown 0=failed)",
             f"# TYPE {prefix}_health gauge",
         ]
         for component, health in snapshot.items():

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..faults.retry import NO_RETRY, RetryPolicy, retry_call
 from ..sim.events import Event
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.link import FairShareLink
 from ..sim.units import mib, ms
 from .http import StorageRead
@@ -25,14 +27,18 @@ class FtpExport:
     def __init__(self, sim: "Simulator", storage_read: StorageRead,
                  client_link: FairShareLink,
                  handshake_time: float = ms(2),
-                 chunk_size: int = mib(1), name: str = "ftp") -> None:
+                 chunk_size: int = mib(1),
+                 retry_policy: RetryPolicy = NO_RETRY,
+                 name: str = "ftp") -> None:
         self.sim = sim
         self.storage_read = storage_read
         self.client_link = client_link
         self.handshake_time = handshake_time
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy
         self.name = name
         self.transfers_completed = 0
+        self.transfers_failed = 0
 
     def retr(self, nbytes: int) -> Event:
         """RETR: download a whole file; event fires at transfer complete."""
@@ -47,11 +53,23 @@ class FtpExport:
         yield self.sim.timeout(self.handshake_time)
         pos = 0
         pending: list[Event] = []
-        while pos < nbytes:
-            take = min(self.chunk_size, nbytes - pos)
-            yield self.storage_read(take)
-            pending.append(self.client_link.transfer(take))
-            pos += take
-        yield self.sim.all_of(pending)
+        try:
+            while pos < nbytes:
+                take = min(self.chunk_size, nbytes - pos)
+                yield from retry_call(
+                    self.sim, lambda t=take: self.storage_read(t),
+                    self.retry_policy, component=self.name)
+                pending.append(self.client_link.transfer(take))
+                pos += take
+            yield self.sim.all_of(pending)
+        except FAULT_EXCEPTIONS as exc:
+            # Storage or client-link failure aborts the transfer with a
+            # visible error (previously the session just vanished and the
+            # caller hung); model bugs still crash.
+            if not is_fault(exc):
+                raise
+            self.transfers_failed += 1
+            done.fail(exc)
+            return
         self.transfers_completed += 1
         done.succeed(nbytes)

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..faults.retry import NO_RETRY, RetryPolicy, retry_call
 from ..sim.events import Event
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.link import FairShareLink
 from ..sim.units import mib, us
 
@@ -33,15 +35,19 @@ class DirectHttpExport:
                  client_link: FairShareLink,
                  request_overhead: float = us(200),
                  auth_callout: float = 0.001,
-                 chunk_size: int = mib(1), name: str = "http") -> None:
+                 chunk_size: int = mib(1),
+                 retry_policy: RetryPolicy = NO_RETRY,
+                 name: str = "http") -> None:
         self.sim = sim
         self.storage_read = storage_read
         self.client_link = client_link
         self.request_overhead = request_overhead
         self.auth_callout = auth_callout
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy
         self.name = name
         self.requests_served = 0
+        self.requests_failed = 0
 
     def get(self, nbytes: int, authenticated: bool = True) -> Event:
         """Serve one GET of ``nbytes``; event fires at last byte delivered."""
@@ -57,13 +63,24 @@ class DirectHttpExport:
             yield self.sim.timeout(self.auth_callout)
         pos = 0
         pending: list[Event] = []
-        while pos < nbytes:
-            take = min(self.chunk_size, nbytes - pos)
-            yield self.storage_read(take)
-            pending.append(self.client_link.transfer(take))
-            pos += take
-        if pending:
-            yield self.sim.all_of(pending)
+        try:
+            while pos < nbytes:
+                take = min(self.chunk_size, nbytes - pos)
+                yield from retry_call(
+                    self.sim, lambda t=take: self.storage_read(t),
+                    self.retry_policy, component=self.name)
+                pending.append(self.client_link.transfer(take))
+                pos += take
+            if pending:
+                yield self.sim.all_of(pending)
+        except FAULT_EXCEPTIONS as exc:
+            # A storage fault becomes a failed request (a 500, in HTTP
+            # terms) instead of a silently-vanished connection.
+            if not is_fault(exc):
+                raise
+            self.requests_failed += 1
+            done.fail(exc)
+            return
         self.requests_served += 1
         done.succeed(nbytes)
 
@@ -100,12 +117,18 @@ class ServerMediatedExport:
     def _serve(self, nbytes: int, done: Event):
         yield self.sim.timeout(self.request_overhead)
         pos = 0
-        while pos < nbytes:
-            take = min(self.chunk_size, nbytes - pos)
-            yield self.storage_read(take)
-            yield self.server_link.transfer(take)      # storage -> server
-            yield self.sim.timeout(self.server_cpu_per_byte * take)
-            yield self.client_link.transfer(take)      # server -> client
-            pos += take
+        try:
+            while pos < nbytes:
+                take = min(self.chunk_size, nbytes - pos)
+                yield self.storage_read(take)
+                yield self.server_link.transfer(take)  # storage -> server
+                yield self.sim.timeout(self.server_cpu_per_byte * take)
+                yield self.client_link.transfer(take)  # server -> client
+                pos += take
+        except FAULT_EXCEPTIONS as exc:
+            if not is_fault(exc):
+                raise
+            done.fail(exc)
+            return
         self.requests_served += 1
         done.succeed(nbytes)

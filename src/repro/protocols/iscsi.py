@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..security.lun_masking import MaskingViolation
 from ..sim.events import Event
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.units import us
 from .scsi import ScsiTarget
 
@@ -59,7 +61,11 @@ class IscsiPortal:
         yield self.sim.timeout(self.tcp_cost_per_byte * nbytes)
         try:
             result = yield self.target.submit(iqn, lun, op, offset, nbytes)
-        except Exception as exc:
+        except (MaskingViolation,) + FAULT_EXCEPTIONS as exc:
+            # Denied access and simulated storage failures are protocol
+            # responses; a wrapped model bug is neither — re-raise it.
+            if not (isinstance(exc, MaskingViolation) or is_fault(exc)):
+                raise
             done.fail(exc)
             return
         yield self.sim.timeout(self.network_rtt / 2)

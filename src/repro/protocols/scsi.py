@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..faults.retry import NO_RETRY, RetryPolicy, retry_call
 from ..security.lun_masking import LunMaskingTable, MaskingViolation
 from ..sim.events import Event
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.units import us
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,14 +27,19 @@ class ScsiTarget:
 
     def __init__(self, sim: "Simulator", masking: LunMaskingTable,
                  backend: Backend, per_op_overhead: float = us(20),
+                 retry_policy: RetryPolicy = NO_RETRY,
                  name: str = "scsi") -> None:
         self.sim = sim
         self.masking = masking
         self.backend = backend
         self.per_op_overhead = per_op_overhead
+        #: Recovery for transient backend faults; NO_RETRY = pre-framework
+        #: single-attempt behavior.
+        self.retry_policy = retry_policy
         self.name = name
         self.commands_served = 0
         self.commands_rejected = 0
+        self.commands_failed = 0
 
     def report_luns(self, initiator: str) -> list[str]:
         """SCSI REPORT LUNS: the masked view (§5: concealment, not errors)."""
@@ -56,8 +63,15 @@ class ScsiTarget:
             done.fail(MaskingViolation(f"{initiator} -> {lun} {op} denied"))
             return
         try:
-            result = yield self.backend(lun, op, offset, nbytes)
-        except Exception as exc:
+            result = yield from retry_call(
+                self.sim, lambda: self.backend(lun, op, offset, nbytes),
+                self.retry_policy, component=self.name)
+        except FAULT_EXCEPTIONS as exc:
+            # Simulated storage failures surface as a failed command (a
+            # CHECK CONDITION, in SCSI terms); model bugs crash the run.
+            if not is_fault(exc):
+                raise
+            self.commands_failed += 1
             done.fail(exc)
             return
         self.commands_served += 1

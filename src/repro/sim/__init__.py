@@ -8,6 +8,13 @@ fluid fair-share links, metric collectors, and seeded RNG streams.
 
 from .engine import SimulationError, Simulator
 from .events import AllOf, AnyOf, ConditionError, Event, Timeout
+from .faults import (
+    FAULT_EXCEPTIONS,
+    LinkDownError,
+    SimulatedFault,
+    TransientIOError,
+    is_fault,
+)
 from .link import FairShareLink, FcfsLink
 from .process import Interrupt, Process
 from .replications import (
@@ -28,8 +35,12 @@ __all__ = [
     "Container",
     "Counter",
     "Event",
+    "FAULT_EXCEPTIONS",
     "FairShareLink",
     "FcfsLink",
+    "LinkDownError",
+    "SimulatedFault",
+    "TransientIOError",
     "Histogram",
     "Interrupt",
     "MetricSet",
@@ -46,6 +57,7 @@ __all__ = [
     "Tally",
     "TimeWeighted",
     "Timeout",
+    "is_fault",
     "replicate",
     "replicate_parallel",
     "run_replications",

@@ -123,7 +123,19 @@ class Timeout(Event):
 
 
 class ConditionError(Exception):
-    """Raised into waiters when a sub-event of a condition fails."""
+    """Raised into waiters when a sub-event of a condition fails.
+
+    The losing sub-event's exception is attached as ``__cause__`` so
+    handlers (and :func:`repro.sim.faults.is_fault`) can classify the
+    barrier failure by what actually went wrong underneath.
+    """
+
+
+def _condition_error(sub_exc: Any) -> ConditionError:
+    err = ConditionError(f"sub-event failed: {sub_exc!r}")
+    if isinstance(sub_exc, BaseException):
+        err.__cause__ = sub_exc
+    return err
 
 
 class _Condition(Event):
@@ -178,7 +190,7 @@ class AllOf(_Condition):
         if self.triggered:
             return
         if not ev.ok:
-            self.fail(ConditionError(f"sub-event failed: {ev.value!r}"))
+            self.fail(_condition_error(ev.value))
             return
         self._results[ev] = ev._value
         self._outstanding -= 1
@@ -198,7 +210,7 @@ class AnyOf(_Condition):
         if self.triggered:
             return
         if not ev.ok:
-            self.fail(ConditionError(f"sub-event failed: {ev.value!r}"))
+            self.fail(_condition_error(ev.value))
             return
         self._results[ev] = ev._value
         self.succeed(self._collect())

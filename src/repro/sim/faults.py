@@ -1,0 +1,72 @@
+"""Simulated-failure taxonomy: what may be *handled* vs what must crash.
+
+The availability claims of the paper (§6) are exercised by injecting
+failures — blade crashes, disk deaths, link flaps, whole-site disasters.
+Model code recovering from those must never also swallow its own bugs, so
+every exception that represents an *injected or modeled* failure derives
+from :class:`SimulatedFault`, and recovery paths catch exactly that (plus
+:class:`~repro.sim.events.ConditionError` barriers that *wrap* one).
+``TypeError``/``KeyError``/``AttributeError`` and friends fall through and
+crash the run loudly, as programming errors should.
+
+Layering note: this module sits at the bottom of the stack (pure kernel,
+no model imports) so ``hardware``, ``geo``, ``cache`` and ``protocols``
+can all subclass :class:`SimulatedFault` without cycles; the full
+fault-injection framework lives in :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedFault(Exception):
+    """Base class for every injected or modeled failure.
+
+    Subclasses (``DiskFailedError``, ``BladeFailedError``,
+    ``SiteFailedError``, ``NoRouteError``, ``LinkDownError``,
+    ``ReplicationError``, ``TransientIOError``) mark an exception as part
+    of the *simulated world*, safe for retry/degraded-mode handling.
+    """
+
+
+class TransientIOError(SimulatedFault):
+    """A one-shot injected I/O error (medium glitch, dropped frame).
+
+    Unlike a component failure there is nothing to repair: the next
+    attempt may simply succeed, which is what retry policies are for.
+    """
+
+
+class LinkDownError(SimulatedFault):
+    """A transfer was issued on a link that is flapped down / partitioned."""
+
+
+#: What recovery code may catch: direct faults, ``OSError`` (the Python-
+#: native I/O failure — model backends use e.g. ``IOError("medium
+#: error")`` for media defects), plus condition barriers (an ``AllOf``/
+#: ``AnyOf`` failure wraps the losing sub-event's exception; use
+#: :func:`is_fault` inside the handler to re-raise wrapped bugs).
+def _fault_exceptions() -> tuple[type[BaseException], ...]:
+    from .events import ConditionError
+    return (SimulatedFault, OSError, ConditionError)
+
+
+FAULT_EXCEPTIONS = _fault_exceptions()
+
+
+def is_fault(exc: BaseException | None, _depth: int = 8) -> bool:
+    """True if ``exc`` is, or (transitively) wraps, a simulated failure.
+
+    ``OSError`` counts: it is the language's own I/O-failure type, so a
+    backend modeling a medium error with ``IOError`` classifies as a
+    fault, while ``TypeError``/``KeyError``/``AttributeError`` never do.
+    Walks ``__cause__`` chains so a :class:`ConditionError` raised by an
+    ``all_of`` barrier over a failed site transfer — or a
+    ``RetryExhausted`` carrying its last underlying error — classifies by
+    what actually went wrong underneath.
+    """
+    while exc is not None and _depth > 0:
+        if isinstance(exc, (SimulatedFault, OSError)):
+            return True
+        exc = exc.__cause__
+        _depth -= 1
+    return False

@@ -28,6 +28,7 @@ from itertools import count
 from typing import TYPE_CHECKING
 
 from .events import Event
+from .faults import LinkDownError
 from .resources import Resource
 from .stats import TimeWeighted
 
@@ -77,7 +78,23 @@ class FairShareLink:
         self._active_timer = -1
         self._rebalance_pending = False
         self.total_bytes = 0.0
+        self.failed = False
         self.utilization = TimeWeighted(sim)
+
+    # -- failure control -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Flap the link down: new transfers fail with LinkDownError.
+
+        In-flight flows keep draining — a flap severs admission, and the
+        fluid model has no per-packet granularity to lose.  Callers that
+        need harsher semantics can interrupt their own waiting processes.
+        """
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring the link back up; admission resumes immediately."""
+        self.failed = False
 
     # -- public API -----------------------------------------------------------
 
@@ -90,6 +107,9 @@ class FairShareLink:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         done = Event(self.sim)
+        if self.failed:
+            done.fail(LinkDownError(f"link {self.name} is down"))
+            return done
         if nbytes == 0:
             self._deliver(done, self.latency)
             return done
@@ -193,7 +213,16 @@ class FcfsLink:
         self.name = name
         self._slot = Resource(sim, capacity=1)
         self.total_bytes = 0.0
+        self.failed = False
         self.utilization = TimeWeighted(sim)
+
+    def fail(self) -> None:
+        """Flap the link down: new transfers fail with LinkDownError."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring the link back up."""
+        self.failed = False
 
     @property
     def active_transfers(self) -> int:
@@ -204,6 +233,9 @@ class FcfsLink:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         done = Event(self.sim)
+        if self.failed:
+            done.fail(LinkDownError(f"link {self.name} is down"))
+            return done
         self.sim.process(self._run(nbytes, done), name=f"{self.name}.xfer")
         return done
 
