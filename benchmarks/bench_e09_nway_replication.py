@@ -9,10 +9,11 @@ Reproduces: dirty-data loss after k simultaneous controller failures, for
 replication factors N = 1..4, against the dual-controller baseline.
 """
 
-from _common import FarmFeed, make_cache_cluster, run_one
+from _common import BLOCK, FarmFeed, make_cache_cluster, run_one
 
 from repro.baseline import DualControllerArray
 from repro.core import format_table, print_experiment
+from repro.integrity import IntegrityManager
 from repro.sim import Simulator
 
 BLADES = 6
@@ -64,6 +65,69 @@ def baseline_loss(kills: int) -> int:
     p = sim.process(burst())
     sim.run(until=p)
     return len(array.lost_dirty_blocks)
+
+
+def corrupted_read_sweep(poison_every: int = 4):
+    """The integrity variant: the same replicas that survive crashes also
+    repair corruption.  Write a burst with 2-way replication, rot the
+    owner's in-memory copy of every ``poison_every``-th block, then read
+    the whole burst back at the owners — each poisoned hit must fail
+    verification and refill transparently from its peer replica, with
+    the repair cost showing up as latency, never as wrong data.
+    """
+    sim = Simulator()
+    cluster = make_cache_cluster(sim, BLADES, replication=2,
+                                 farm=FarmFeed(sim))
+    cluster.integrity = IntegrityManager(sim)
+    stats: dict[str, float] = {}
+
+    def run():
+        for i in range(WRITES):
+            yield cluster.write(i % BLADES, ("burst", i), replicas=2)
+        poisoned = 0
+        for i in range(0, WRITES, poison_every):
+            if cluster.corrupt_cached(i % BLADES, ("burst", i)):
+                poisoned += 1
+        t0 = sim.now
+        for i in range(WRITES):
+            yield cluster.read(i % BLADES, ("burst", i))
+        stats["poisoned"] = poisoned
+        stats["read_time"] = sim.now - t0
+
+    p = sim.process(run())
+    sim.run(until=p)
+    return cluster, stats
+
+
+def test_e09b_corrupt_replica_repair(benchmark):
+    cluster, stats = run_one(benchmark, corrupted_read_sweep)
+    repair = cluster.metrics.tally("integrity.repair_latency")
+    repaired = cluster.metrics.counter(
+        "integrity.cache_repaired.replica").value
+    throughput = WRITES * BLOCK / stats["read_time"] / 1e6
+    print_experiment(
+        "E9b (§6.1, integrity)",
+        f"read-back of {WRITES} blocks with {int(stats['poisoned'])} "
+        "poisoned owner copies (2-way replication)",
+        format_table(["metric", "value"],
+                     [["read throughput (MB/s)", round(throughput, 1)],
+                      ["repairs from peer replica", repaired],
+                      ["mean repair latency (ms)",
+                       round(repair.mean() * 1e3, 3)],
+                      ["max repair latency (ms)",
+                       round(repair.max * 1e3, 3)],
+                      ["unrepairable", cluster.metrics.counter(
+                          "integrity.cache_unrepairable").value]]))
+    summary = cluster.integrity.summary()
+    assert stats["poisoned"] > 0
+    # Every poisoned read was caught and mended from its replica — no
+    # disk refills, nothing unrepairable, no silent delivery.
+    assert repaired == stats["poisoned"]
+    assert repair.count == repaired and repair.mean() > 0.0
+    assert summary["detected"] == summary["injected"] == stats["poisoned"]
+    assert summary["repaired"] == stats["poisoned"]
+    assert summary["unrepairable"] == 0.0 and summary["silent"] == 0.0
+    assert cluster.metrics.counter("integrity.cache_unrepairable").value == 0
 
 
 def test_e09_nway_replication_survives_n_minus_1(benchmark):

@@ -62,6 +62,10 @@ class BlockCache:
         self._lru: dict[int, OrderedDict[BlockKey, None]] = {}
         self._prio_heap: list[int] = []
         self._prio_in_heap: set[int] = set()
+        #: Resident blocks whose in-memory copy is corrupt (injected DRAM
+        #: bitrot / wire damage): lookup still *finds* them — detection is
+        #: the integrity layer's job at read/destage verification points.
+        self._poisoned: set[BlockKey] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -98,6 +102,20 @@ class BlockCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def poison(self, key: BlockKey) -> bool:
+        """Corrupt the resident copy of ``key``; False if not resident."""
+        if key not in self._entries:
+            return False
+        self._poisoned.add(key)
+        return True
+
+    def unpoison(self, key: BlockKey) -> None:
+        """The copy was repaired (refetched/reconstructed) in place."""
+        self._poisoned.discard(key)
+
+    def is_poisoned(self, key: BlockKey) -> bool:
+        return key in self._poisoned
+
     def dirty_keys(self) -> list[BlockKey]:
         """Keys currently in MODIFIED state (awaiting destage)."""
         return [k for k, e in self._entries.items()
@@ -115,6 +133,7 @@ class BlockCache:
         existing = entries.get(key)
         if existing is not None:
             self._unlink(existing)
+        self._poisoned.discard(key)  # fresh data replaces the bad copy
         while len(entries) >= self.capacity:
             if not self._evict_one():
                 raise CapacityError(
@@ -139,6 +158,7 @@ class BlockCache:
     def drop(self, key: BlockKey) -> None:
         """Invalidate a block (coherence invalidation or volume delete)."""
         entry = self._entries.pop(key, None)
+        self._poisoned.discard(key)
         if entry is not None and not entry.locked:
             self._lru[entry.priority].pop(key, None)
 
@@ -148,6 +168,7 @@ class BlockCache:
         self._lru.clear()
         self._prio_heap.clear()
         self._prio_in_heap.clear()
+        self._poisoned.clear()
 
     # -- internals ------------------------------------------------------------------
 
@@ -184,6 +205,7 @@ class BlockCache:
                 continue
             victim, _ = bucket.popitem(last=False)
             del self._entries[victim]
+            self._poisoned.discard(victim)
             self.evictions += 1
             return True
         return False

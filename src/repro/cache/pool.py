@@ -15,11 +15,12 @@ from typing import TYPE_CHECKING, Callable
 
 from ..faults.retry import NO_RETRY, RetryPolicy, retry_call
 from ..hardware.blade import ControllerBlade
+from ..integrity.repair import RepairRequest
 from ..obs.telemetry import ComponentHealth, HealthState
 from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
 from ..sim.faults import (FAULT_EXCEPTIONS, SimulatedFault, TransientIOError,
-                          is_fault)
+                          find_corruption, is_fault)
 from ..sim.link import FairShareLink
 from ..sim.resources import Store
 from ..sim.stats import MetricSet
@@ -106,6 +107,16 @@ class CacheCluster:
         #: fail with TransientIOError (the fault injector's hook).
         self._forced_read_faults = 0
         self._forced_write_faults = 0
+        #: End-to-end integrity (None = disabled, the default: read/write
+        #: paths then pay only ``is not None`` tests and no extra events).
+        #: Set by the system wiring together with ``repair_chain``, the
+        #: escalation used when a backing read fails verification.
+        self.integrity = None
+        self.repair_chain = None
+        #: Armed in-flight corruption: the next N interconnect fills
+        #: deliver a damaged payload (the WIRE_CORRUPT fault hook); the
+        #: fill digest detects it and one retransmit makes it whole.
+        self._wire_corrupt_pending = 0
 
     # -- helpers -----------------------------------------------------------------
 
@@ -147,6 +158,107 @@ class CacheCluster:
             self._forced_write_faults += count
         else:
             raise ValueError(f"op must be read/write, got {op!r}")
+
+    def corrupt_next_fill(self, count: int) -> None:
+        """Arm in-flight corruption on the next ``count`` interconnect
+        fills (remote-hit transfers) — the WIRE_CORRUPT fault hook."""
+        if self.integrity is None:
+            raise RuntimeError("enable integrity before arming wire faults")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._wire_corrupt_pending += count
+
+    def corrupt_cached(self, blade_id: int, key: BlockKey,
+                       kind: str = "bitrot") -> bool:
+        """Corrupt the resident copy of ``key`` on one blade (in-memory
+        bitrot).  Detection happens at the read/destage verification
+        points; returns False when the block is not resident there."""
+        if self.integrity is None:
+            raise RuntimeError(
+                "enable integrity before injecting cache corruption")
+        if blade_id not in self.caches or not self.caches[blade_id].poison(key):
+            return False
+        return self.integrity.corrupt("cache", (blade_id, key), 0, kind)
+
+    def _note_cache_repair(self, tier: str, started: float) -> None:
+        self.metrics.counter(f"integrity.cache_repaired.{tier}").incr()
+        self.metrics.tally("integrity.repair_latency").record(
+            self.sim.now - started)
+
+    def _repair_cached(self, blade_id: int, key: BlockKey):
+        """A local hit failed verification: fetch a good copy in place.
+
+        Tier order mirrors the escalation chain at cache scope — a clean
+        peer copy over the interconnect, else a disk refill.  Dirty data
+        with no clean replica anywhere has no good copy left: counted
+        unrepairable (the corrupt bytes keep serving, loudly accounted).
+        Returns the repairing tier name.
+        """
+        integ = self.integrity
+        cache = self.caches[blade_id]
+        t0 = self.sim.now
+        integ.note_detected("cache", (blade_id, key))
+        self.metrics.counter("integrity.cache_detected").incr()
+        entry_dir = self.directory.entry(key)
+        source = None
+        if entry_dir is not None:
+            for bid in sorted(entry_dir.holders()):
+                if bid != blade_id and bid in self.caches \
+                        and self.blades[bid].is_up \
+                        and self.caches[bid].entry(key) is not None \
+                        and not self.caches[bid].is_poisoned(key):
+                    source = bid
+                    break
+        if source is not None:
+            yield self.interconnect.transfer(self.block_size)
+            cache.unpoison(key)
+            integ.clear("cache", (blade_id, key))
+            integ.note_repaired("cache", (blade_id, key))
+            self._note_cache_repair("replica", t0)
+            return "replica"
+        entry = cache.entry(key)
+        if entry is not None and entry.state is not BlockState.SHARED \
+                and entry_dir is not None and entry_dir.dirty:
+            integ.note_unrepairable("cache", (blade_id, key))
+            cache.unpoison(key)
+            self.metrics.counter("integrity.cache_unrepairable").incr()
+            return "unrepairable"
+        try:
+            yield from retry_call(
+                self.sim, lambda: self._backing(key, self.block_size, "read"),
+                self.retry_policy, component="cache.pool")
+        except FAULT_EXCEPTIONS as exc:
+            if not is_fault(exc):
+                raise
+            integ.note_unrepairable("cache", (blade_id, key))
+            cache.unpoison(key)
+            self.metrics.counter("integrity.cache_unrepairable").incr()
+            return "unrepairable"
+        cache.unpoison(key)
+        integ.clear("cache", (blade_id, key))
+        integ.note_repaired("cache", (blade_id, key))
+        self._note_cache_repair("disk", t0)
+        return "disk"
+
+    def _repair_backing(self, key: BlockKey, corruption):
+        """Escalate a backing-read verification miss through the chain,
+        then retry the fill.  Returns True when the retried read is clean.
+        """
+        req = RepairRequest(domain=corruption.domain,
+                            address=corruption.address,
+                            length=corruption.length, kind=corruption.kind,
+                            key=key)
+        try:
+            yield self.repair_chain.repair(req)
+            yield from retry_call(
+                self.sim, lambda: self._backing(key, self.block_size, "read"),
+                self.retry_policy, component="cache.pool")
+        except FAULT_EXCEPTIONS as exc:
+            if not is_fault(exc):
+                raise
+            return False
+        self.metrics.counter("integrity.backing_repaired").incr()
+        return True
 
     def _backing(self, key: BlockKey, nbytes: int, op: str) -> Event:
         """One backing-store attempt, honouring injected transient faults."""
@@ -207,8 +319,13 @@ class CacheCluster:
         beyond the I/O events themselves."""
         blade = self.blades[blade_id]
         cache = self.caches[blade_id]
+        integ = self.integrity
         yield from blade.execute(blade.io_cpu_cost(self.block_size))
         if cache.lookup(key) is not None:
+            if integ is not None and cache.is_poisoned(key):
+                # Checksum miss on the resident copy: repair in place
+                # (clean peer replica, else disk) before serving.
+                yield from self._repair_cached(blade_id, key)
             self._ctr_local_hit.incr()
             yield self.sim.timeout(self._hit_delay)
             done.succeed("local")
@@ -217,11 +334,25 @@ class CacheCluster:
         source = actions.fetch_from
         if source is not None and source in self.blades \
                 and self.blades[source].is_up:
-            self._ctr_remote_hit.incr()
-            yield self.interconnect.transfer(self.block_size)
-            cache.insert(key, BlockState.SHARED, priority, self.sim.now)
-            done.succeed("remote")
-            return
+            if integ is not None and self.caches[source].is_poisoned(key):
+                # The peer's copy fails its fill digest: refuse to
+                # spread the bad bytes; fall through to a disk fill.
+                integ.note_detected("cache", (source, key))
+                self.metrics.counter("integrity.peer_fill_rejected").incr()
+            else:
+                self._ctr_remote_hit.incr()
+                yield self.interconnect.transfer(self.block_size)
+                if integ is not None and self._wire_corrupt_pending > 0:
+                    # In-flight damage caught by the transfer digest:
+                    # one retransmit makes the fill whole.
+                    self._wire_corrupt_pending -= 1
+                    integ.wire_event("wire_corrupt", detected=True,
+                                     repaired=True)
+                    self.metrics.counter("integrity.fill_retransmits").incr()
+                    yield self.interconnect.transfer(self.block_size)
+                cache.insert(key, BlockState.SHARED, priority, self.sim.now)
+                done.succeed("remote")
+                return
         self._ctr_miss.incr()
         try:
             yield from retry_call(
@@ -232,6 +363,15 @@ class CacheCluster:
             # TypeError/KeyError is a model bug and must crash the run.
             if not is_fault(exc):
                 raise
+            corruption = (find_corruption(exc)
+                          if self.repair_chain is not None else None)
+            if corruption is not None:
+                repaired = yield from self._repair_backing(key, corruption)
+                if repaired:
+                    cache.insert(key, BlockState.SHARED, priority,
+                                 self.sim.now)
+                    done.succeed("disk")
+                    return
             self.metrics.counter("read.backing_errors").incr()
             done.fail(exc)
             return
@@ -246,9 +386,14 @@ class CacheCluster:
         with span:
             blade = self.blades[blade_id]
             cache = self.caches[blade_id]
+            integ = self.integrity
             with span.child("blade.cpu"):
                 yield from blade.execute(blade.io_cpu_cost(self.block_size))
             if cache.lookup(key) is not None:
+                if integ is not None and cache.is_poisoned(key):
+                    span.annotate(integrity="repair")
+                    with span.child("integrity.repair_cached"):
+                        yield from self._repair_cached(blade_id, key)
                 self._ctr_local_hit.incr()
                 span.annotate(tier="local")
                 yield self.sim.timeout(self._hit_time())
@@ -258,14 +403,32 @@ class CacheCluster:
             source = actions.fetch_from
             if source is not None and source in self.blades \
                     and self.blades[source].is_up:
-                # Peer-cache transfer: far faster than a disk access.
-                self._ctr_remote_hit.incr()
-                span.annotate(tier="remote", source=source)
-                with span.child("cache.peer_fetch", source=source):
-                    yield self.interconnect.transfer(self.block_size)
-                cache.insert(key, BlockState.SHARED, priority, self.sim.now)
-                done.succeed("remote")
-                return
+                if integ is not None and self.caches[source].is_poisoned(key):
+                    integ.note_detected("cache", (source, key))
+                    self.metrics.counter(
+                        "integrity.peer_fill_rejected").incr()
+                    span.annotate(integrity="peer_fill_rejected")
+                    if obs is not None:
+                        obs.log.warning("cache.pool", "peer_fill_rejected",
+                                        key=str(key), source=source)
+                else:
+                    # Peer-cache transfer: far faster than a disk access.
+                    self._ctr_remote_hit.incr()
+                    span.annotate(tier="remote", source=source)
+                    with span.child("cache.peer_fetch", source=source):
+                        yield self.interconnect.transfer(self.block_size)
+                    if integ is not None and self._wire_corrupt_pending > 0:
+                        self._wire_corrupt_pending -= 1
+                        integ.wire_event("wire_corrupt", detected=True,
+                                         repaired=True)
+                        self.metrics.counter(
+                            "integrity.fill_retransmits").incr()
+                        with span.child("integrity.retransmit"):
+                            yield self.interconnect.transfer(self.block_size)
+                    cache.insert(key, BlockState.SHARED, priority,
+                                 self.sim.now)
+                    done.succeed("remote")
+                    return
             self._ctr_miss.incr()
             span.annotate(tier="disk")
             try:
@@ -277,6 +440,17 @@ class CacheCluster:
             except FAULT_EXCEPTIONS as exc:
                 if not is_fault(exc):
                     raise  # programming error wrapped in a barrier: crash
+                corruption = (find_corruption(exc)
+                              if self.repair_chain is not None else None)
+                if corruption is not None:
+                    with span.child("integrity.repair_backing"):
+                        repaired = yield from self._repair_backing(
+                            key, corruption)
+                    if repaired:
+                        cache.insert(key, BlockState.SHARED, priority,
+                                     self.sim.now)
+                        done.succeed("disk")
+                        return
                 self.metrics.counter("read.backing_errors").incr()
                 if obs is not None:
                     obs.log.error("cache.pool", "backing_read_failed",
@@ -362,11 +536,47 @@ class CacheCluster:
         self.sim.process(self._destage(key, done), name="cache.destage")
         return done
 
+    def _verify_before_destage(self, key: BlockKey, entry_dir):
+        """Destage is the last verification point before corrupt bytes
+        would become the durable truth: a poisoned owner copy is repaired
+        from a clean pinned replica, or loudly counted unrepairable."""
+        integ = self.integrity
+        owner = entry_dir.owner
+        if owner is None or owner not in self.caches \
+                or not self.caches[owner].is_poisoned(key):
+            return
+        t0 = self.sim.now
+        integ.note_detected("cache", (owner, key))
+        self.metrics.counter("integrity.cache_detected").incr()
+        source = None
+        for bid in sorted(entry_dir.replica_holders):
+            if bid != owner and bid in self.caches \
+                    and self.blades[bid].is_up \
+                    and self.caches[bid].entry(key) is not None \
+                    and not self.caches[bid].is_poisoned(key):
+                source = bid
+                break
+        if source is not None:
+            yield self.interconnect.transfer(self.block_size)
+            self.caches[owner].unpoison(key)
+            integ.clear("cache", (owner, key))
+            integ.note_repaired("cache", (owner, key))
+            self._note_cache_repair("replica", t0)
+        else:
+            # Dirty data with every copy damaged: nothing clean exists
+            # anywhere, so the write proceeds (the alternative is losing
+            # the block outright) and the loss is accounted.
+            integ.note_unrepairable("cache", (owner, key))
+            self.caches[owner].unpoison(key)
+            self.metrics.counter("integrity.cache_unrepairable").incr()
+
     def _destage(self, key: BlockKey, done: Event):
         entry = self.directory.entry(key)
         if entry is None or not entry.dirty:
             done.succeed(False)
             return
+        if self.integrity is not None:
+            yield from self._verify_before_destage(key, entry)
         obs = self._obs() if self.sim.obs is not None else None
         span = (obs.tracer.span("cache.destage")
                 if obs is not None else NULL_SPAN)

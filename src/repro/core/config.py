@@ -33,6 +33,16 @@ class SystemConfig:
     #: time (see repro.obs).  Off by default: the data path then pays only
     #: a per-operation ``sim.obs is None`` test.
     observability: bool = False
+    #: End-to-end data integrity (see repro.integrity): disks stamp/verify
+    #: block checksums, transports and fills verify digests, and the
+    #: repair escalation chain (cache replica → RAID parity → geo replica)
+    #: backs every verification point.  Off by default: the data path then
+    #: pays only a per-operation ``is not None`` test and traces stay
+    #: byte-identical to an integrity-free build.
+    integrity: bool = False
+    #: Background scrub verification rate, bytes/s (used only by an
+    #: explicitly started scrub daemon; see NetStorageSystem.start_scrub).
+    scrub_rate: float = 32 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.blade_count < 1:
@@ -49,3 +59,6 @@ class SystemConfig:
                 f"{self.data_per_stripe}+1 declustered stripes plus spare")
         if self.block_size <= 0:
             raise ValueError(f"block_size must be > 0, got {self.block_size}")
+        if self.scrub_rate <= 0:
+            raise ValueError(
+                f"scrub_rate must be > 0, got {self.scrub_rate}")

@@ -17,7 +17,9 @@ from typing import TYPE_CHECKING
 
 from ..cache.pool import CacheCluster
 from ..cluster.cluster import ControllerCluster
+from ..faults.state import RecoveryTracker
 from ..fs.pfs import ParallelFileSystem
+from ..integrity import IntegrityManager, RepairChain, ScrubDaemon
 from ..obs import Observability
 from ..obs.telemetry import ComponentHealth, HealthState
 from ..obs.tracer import NULL_SPAN
@@ -95,6 +97,21 @@ class NetStorageSystem:
         if cfg.observability:
             self.enable_observability()
 
+        # End-to-end integrity: checksum verification at every layer plus
+        # the scrub/repair machinery (see repro.integrity).
+        self.integrity: IntegrityManager | None = None
+        self.repair_chain: RepairChain | None = None
+        self.scrubber: ScrubDaemon | None = None
+        #: physical chunk offset -> logical cache key, recorded as backing
+        #: I/O flows — lets repair tiers find the cached copy of a corrupt
+        #: chunk without inverting the placement hash.
+        self._offset_to_key: dict[int, object] = {}
+        #: Optional WAN refetch hook installed by the metadata center; the
+        #: geo tier of the repair chain is skipped until it is set.
+        self._geo_repair_fetch = None
+        if cfg.integrity:
+            self.enable_integrity()
+
     # -- lifecycle ------------------------------------------------------------------
 
     def start(self) -> None:
@@ -120,6 +137,8 @@ class NetStorageSystem:
         self.cache.register_health(obs.mgmt)
         obs.mgmt.register("cluster", self._cluster_health)
         obs.mgmt.register("raid.pool", self._pool_health)
+        if getattr(self, "integrity", None) is not None:
+            self._register_integrity_health()
         return obs
 
     def _cluster_health(self) -> ComponentHealth:
@@ -146,6 +165,231 @@ class NetStorageSystem:
             "capacity_bytes": float(self.pool.capacity),
         }, detail=f"{failed} failed disks" if failed else "")
 
+    # -- end-to-end integrity ----------------------------------------------------------
+
+    def enable_integrity(self) -> IntegrityManager:
+        """Attach block checksums and the repair escalation chain.
+
+        Disks stamp on write and verify on read; the pooled cache verifies
+        resident copies, peer fills, and destages; any miss escalates
+        through cache replica → RAID parity → geo replica.  Scrubbing is
+        separate and explicit (:meth:`start_scrub`).
+        """
+        if self.integrity is not None:
+            return self.integrity
+        cfg = self.config
+        manager = IntegrityManager(self.sim, name=f"{cfg.name}.integrity")
+        tracker = RecoveryTracker(self.sim, f"{cfg.name}.integrity")
+        chain = RepairChain(self.sim, manager, tracker=tracker,
+                            name=f"{cfg.name}.integrity.repair")
+        chain.add_tier("cache_replica", self._tier_cache_replica)
+        chain.add_tier("raid_parity", self._tier_raid_parity)
+        chain.add_tier("geo_replica", self._tier_geo_replica)
+        self.integrity = manager
+        self.repair_chain = chain
+        for disk in self.disks:
+            disk.integrity = manager
+        self.cache.integrity = manager
+        self.cache.repair_chain = chain
+        if self.obs is not None:
+            self._register_integrity_health()
+        return manager
+
+    def _register_integrity_health(self) -> None:
+        mgmt = self.obs.mgmt
+        self.integrity.register_health(mgmt)
+        self.repair_chain.register_health(mgmt)
+        if self.scrubber is not None:
+            self.scrubber.register_health(mgmt)
+
+    def start_scrub(self, passes: int | None = 1, rate: float | None = None,
+                    idle_between_passes: float = 60.0) -> ScrubDaemon:
+        """Start the background scrub daemon (explicitly: its disk reads
+        perturb head positions, so byte-identical runs don't start it)."""
+        if self.integrity is None:
+            raise RuntimeError("enable_integrity() before scrubbing")
+        if self.scrubber is None:
+            self.scrubber = ScrubDaemon(
+                self.sim, self.pool, self.integrity,
+                chain=self.repair_chain,
+                rate=self.config.scrub_rate if rate is None else rate,
+                name=f"{self.config.name}.scrub")
+            if self.obs is not None:
+                self.scrubber.register_health(self.obs.mgmt)
+        self.scrubber.start(passes=passes,
+                            idle_between_passes=idle_between_passes)
+        return self.scrubber
+
+    def set_geo_repair(self, fetch) -> None:
+        """Install the WAN refetch hook: ``fetch(req, nbytes) -> Event``
+        completing when a clean copy arrives from a peer site.  Wired by
+        the metadata center when this system joins a geo deployment."""
+        self._geo_repair_fetch = fetch
+
+    def inject_at_rest_corruption(self, disk_index: int,
+                                  kind: str = "bitrot", count: int = 1,
+                                  salt: int = 0) -> int:
+        """Corrupt ``count`` stamped (client-written) chunks on one disk.
+
+        Target chunks are chosen deterministically from the stamped set by
+        hashing ``(disk, kind, salt)``, so campaigns are reproducible.
+        Returns how many fresh corruption records were placed (0 when the
+        disk holds no stamped data yet).
+        """
+        if self.integrity is None:
+            raise RuntimeError("enable_integrity() before injecting")
+        disk = self.pool.disks[disk_index]
+        candidates = self.integrity.stamped_addresses(disk.name)
+        if not candidates:
+            return 0
+        injected = 0
+        start = stable_hash((disk_index, kind, salt)) % len(candidates)
+        for probe in range(len(candidates)):
+            if injected >= count:
+                break
+            addr = candidates[(start + probe) % len(candidates)]
+            if self.integrity.corrupt(disk.name, addr,
+                                      self.pool.chunk_size, kind):
+                injected += 1
+        return injected
+
+    # Repair tiers.  Each follows the two-phase TierFn contract: return
+    # None when structurally inapplicable, else a zero-arg factory whose
+    # Event completes when the corrupt chunk has been rewritten.
+
+    def _locate_corrupt_chunk(self, req) -> tuple[int, int, int] | None:
+        """(stripe, member, disk_index) for a repair request, from the
+        scrub-supplied placement or by re-deriving it from the cache key."""
+        if req.stripe is not None and req.disk is not None:
+            member = req.member
+            if member is None:
+                members = self.pool.stripe_members(req.stripe)
+                member = members.index(req.disk) if req.disk in members \
+                    else None
+            if member is None:
+                return None
+            return req.stripe, member, req.disk
+        if req.key is None:
+            return None
+        offset = self._key_to_offset(req.key)
+        chunk = offset // self.config.block_size
+        stripe, within = divmod(chunk, self.pool.data_per_stripe)
+        members = self.pool.stripe_members(stripe)
+        # A reconstructing read touches peer chunks, so match the actual
+        # corrupt disk by name rather than assuming the data member.
+        for member, disk_index in enumerate(members):
+            if self.pool.disks[disk_index].name == req.domain:
+                return stripe, member, disk_index
+        return None
+
+    def _integrity_task(self, gen_fn):
+        """Wrap a generator function into the zero-arg Event factory the
+        repair chain retries; each call runs a fresh attempt."""
+        def factory() -> Event:
+            done = Event(self.sim)
+
+            def runner():
+                try:
+                    yield from gen_fn()
+                except Exception as exc:
+                    done.fail(exc)
+                    return
+                done.succeed(True)
+
+            self.sim.process(runner(), name="integrity.tier")
+            return done
+
+        return factory
+
+    def _tier_cache_replica(self, req):
+        """Cheapest good copy: the logical block still resident (clean)
+        in some blade's cache — transfer it and rewrite the chunk."""
+        loc = self._locate_corrupt_chunk(req)
+        if loc is None:
+            return None
+        stripe, member, disk_index = loc
+        k = self.pool.data_per_stripe
+        if member >= k or disk_index in self.pool.failed:
+            return None  # parity chunks have no cached logical block
+        key = self._offset_to_key.get(
+            (stripe * k + member) * self.config.block_size)
+        if key is None:
+            return None
+        entry = self.cache.directory.entry(key)
+        if entry is None:
+            return None
+        holder = None
+        for bid in sorted(entry.holders()):
+            if bid in self.cache.caches and self.cache.blades[bid].is_up \
+                    and self.cache.caches[bid].entry(key) is not None \
+                    and not self.cache.caches[bid].is_poisoned(key):
+                holder = bid
+                break
+        if holder is None:
+            return None
+        disk = self.pool.disks[disk_index]
+        slot = self.pool.chunk_slot(stripe, disk_index)
+        nbytes = self.pool.chunk_size
+
+        def run():
+            yield self.cache.interconnect.transfer(nbytes)
+            yield disk.write(slot, nbytes, priority=10.0)
+
+        return self._integrity_task(run)
+
+    def _tier_raid_parity(self, req):
+        """Reconstruct the chunk from the stripe's surviving members.
+
+        Single parity absorbs exactly one erasure: every other member
+        must be alive, and their reads verify too — a second corrupt
+        chunk fails the attempt and escalation continues.
+        """
+        loc = self._locate_corrupt_chunk(req)
+        if loc is None:
+            return None
+        stripe, member, disk_index = loc
+        if disk_index in self.pool.failed:
+            return None
+        members = self.pool.stripe_members(stripe)
+        peers = [d for m, d in enumerate(members)
+                 if m != member and d not in self.pool.failed]
+        if len(peers) < len(members) - 1:
+            return None  # corrupt chunk + failed member = two erasures
+        disk = self.pool.disks[disk_index]
+        slot = self.pool.chunk_slot(stripe, disk_index)
+        nbytes = self.pool.chunk_size
+
+        def run():
+            yield self.sim.all_of([
+                self.pool.disks[d].read(self.pool.chunk_slot(stripe, d),
+                                        nbytes, 10.0)
+                for d in peers])
+            yield disk.write(slot, nbytes, priority=10.0)
+
+        return self._integrity_task(run)
+
+    def _tier_geo_replica(self, req):
+        """Last resort: refetch a clean copy from a peer site over the
+        WAN (only wired in geo deployments; see :meth:`set_geo_repair`)."""
+        fetch = self._geo_repair_fetch
+        if fetch is None:
+            return None
+        loc = self._locate_corrupt_chunk(req)
+        if loc is None:
+            return None
+        stripe, _member, disk_index = loc
+        if disk_index in self.pool.failed:
+            return None
+        disk = self.pool.disks[disk_index]
+        slot = self.pool.chunk_slot(stripe, disk_index)
+        nbytes = self.pool.chunk_size
+
+        def run():
+            yield fetch(req, nbytes)
+            yield disk.write(slot, nbytes, priority=10.0)
+
+        return self._integrity_task(run)
+
     def telemetry_report(self) -> str:
         """The management plane's status table (requires observability)."""
         if self.obs is None:
@@ -166,13 +410,18 @@ class NetStorageSystem:
 
     def _backing_read(self, key, nbytes: int) -> Event:
         # Miss fills are foreground work: a client is waiting on them.
-        return self.pool.read(self._key_to_offset(key), nbytes, priority=0.0)
+        offset = self._key_to_offset(key)
+        if self.integrity is not None:
+            self._offset_to_key[offset] = key
+        return self.pool.read(offset, nbytes, priority=0.0)
 
     def _backing_write(self, key, nbytes: int) -> Event:
         # Only the write-back destager calls this: background priority so
         # flushes never gate client reads at the disks (§2.4).
-        return self.pool.write(self._key_to_offset(key), nbytes,
-                               priority=10.0)
+        offset = self._key_to_offset(key)
+        if self.integrity is not None:
+            self._offset_to_key[offset] = key
+        return self.pool.write(offset, nbytes, priority=10.0)
 
     # -- membership plumbing ----------------------------------------------------------------
 
@@ -384,4 +633,7 @@ class NetStorageSystem:
         out["pfs.mapped_bytes"] = float(self.pfs.total_mapped_bytes())
         out["cache.lost_dirty_blocks"] = float(
             len(self.cache.lost_dirty_blocks))
+        if self.integrity is not None:
+            for key, value in self.integrity.summary().items():
+                out[f"integrity.{key}"] = value
         return out

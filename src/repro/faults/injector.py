@@ -153,7 +153,31 @@ class FaultInjector:
             self._bind_system_disk(system, index, prefix)
         self.bind_transient_io(prefix + "cache",
                                system.cache.inject_backing_faults)
+        if getattr(system, "integrity", None) is not None:
+            self._bind_system_corruption(system, prefix)
         return self
+
+    _AT_REST_KINDS = (FaultKind.BITROT, FaultKind.TORN_WRITE,
+                      FaultKind.MISDIRECTED_WRITE)
+
+    def _bind_system_corruption(self, system: "NetStorageSystem",
+                                prefix: str) -> None:
+        """Corruption hooks, bound only when integrity is enabled: at-rest
+        kinds land on ``{prefix}disk{i}``, wire damage on ``{prefix}cache``
+        (the next remote-hit fills deliver a bad payload)."""
+        for index in range(len(system.pool.disks)):
+            target = f"{prefix}disk{index}"
+            for kind in self._AT_REST_KINDS:
+                def at_rest(spec: FaultSpec, i=index, k=kind) -> None:
+                    system.inject_at_rest_corruption(
+                        i, k.value, count=max(1, int(spec.severity)),
+                        salt=int(spec.at * 1e6))
+                self.register(kind, target, at_rest)
+
+        def wire(spec: FaultSpec) -> None:
+            system.cache.corrupt_next_fill(max(1, int(spec.severity)))
+
+        self.register(FaultKind.WIRE_CORRUPT, prefix + "cache", wire)
 
     def _bind_system_disk(self, system: "NetStorageSystem", index: int,
                           prefix: str) -> None:

@@ -33,6 +33,19 @@ class FaultKind(str, Enum):
     SITE_LOSS = "site_loss"        # whole-site disaster (§6.2)
     SLOW_NODE = "slow_node"        # latency inflation, the gray failure
     TRANSIENT_IO = "transient_io"  # one-shot backing I/O errors
+    # Silent-data-corruption kinds (see repro.integrity): at-rest damage
+    # on a disk target, or in-flight damage on a transfer target.
+    BITROT = "bitrot"                        # media decay of stored chunks
+    TORN_WRITE = "torn_write"                # partial sector update at rest
+    MISDIRECTED_WRITE = "misdirected_write"  # data landed at the wrong LBA
+    WIRE_CORRUPT = "wire_corrupt"            # payload damaged in flight
+
+
+#: Kinds whose damage is silent until verified (no timed repair window).
+_CORRUPTION_KINDS = frozenset({
+    FaultKind.BITROT, FaultKind.TORN_WRITE, FaultKind.MISDIRECTED_WRITE,
+    FaultKind.WIRE_CORRUPT,
+})
 
 
 @dataclass(frozen=True, order=True)
@@ -63,8 +76,17 @@ class FaultSpec:
                 "severity": self.severity}
 
     @classmethod
-    def from_dict(cls, doc: Mapping) -> "FaultSpec":
-        return cls(at=float(doc["at"]), kind=FaultKind(doc["kind"]),
+    def from_dict(cls, doc: Mapping, context: str = "") -> "FaultSpec":
+        raw_kind = doc["kind"]
+        try:
+            kind = FaultKind(raw_kind)
+        except ValueError:
+            known = ", ".join(k.value for k in FaultKind)
+            where = f" in {context}" if context else ""
+            raise ValueError(
+                f"unknown fault kind {raw_kind!r}{where}; "
+                f"known kinds: {known}") from None
+        return cls(at=float(doc["at"]), kind=kind,
                    target=str(doc["target"]),
                    duration=float(doc.get("duration", 0.0)),
                    severity=float(doc.get("severity", 1.0)))
@@ -93,7 +115,8 @@ class FaultPlan:
                targets: Mapping[FaultKind | str, Iterable[str]],
                mtbf: float, mttr: float,
                slow_factor: float = 4.0,
-               transient_burst: int = 3) -> "FaultPlan":
+               transient_burst: int = 3,
+               corruption_burst: int = 1) -> "FaultPlan":
         """A stochastic campaign: exponential inter-fault times per target.
 
         For every ``(kind, target)`` pair, fault arrivals are Poisson with
@@ -124,6 +147,11 @@ class FaultPlan:
                     elif kind is FaultKind.TRANSIENT_IO:
                         severity = float(transient_burst)
                         duration = 0.0  # nothing to repair
+                    elif kind in _CORRUPTION_KINDS:
+                        # Silent until a verification point finds it, so
+                        # there is no timed repair; severity = incidents.
+                        severity = float(corruption_burst)
+                        duration = 0.0
                     specs.append(FaultSpec(t, kind, target, duration,
                                            severity))
                     t += duration  # next uptime starts after the repair
@@ -150,10 +178,13 @@ class FaultPlan:
         return json.dumps(doc, sort_keys=True, indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "FaultPlan":
+    def from_json(cls, text: str, context: str = "fault plan") -> "FaultPlan":
+        """Parse a plan document; ``context`` (e.g. the fixture's file
+        name) is woven into the error for any unknown fault kind."""
         doc = json.loads(text)
-        return cls((FaultSpec.from_dict(d) for d in doc.get("faults", [])),
-                   seed=doc.get("seed"))
+        specs = [FaultSpec.from_dict(d, context=f"{context} fault #{i}")
+                 for i, d in enumerate(doc.get("faults", []))]
+        return cls(specs, seed=doc.get("seed"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = sorted({s.kind.value for s in self.specs})

@@ -62,6 +62,42 @@ class MetadataCenter:
         self.dr = DisasterRecoveryCoordinator(sim, self.network,
                                               self.replicator)
         self._homes: dict[str, str] = {}
+        # Integrity-enabled sites gain the WAN tier of the repair chain:
+        # a chunk no local tier can fix is refetched from a peer site.
+        for name, system in self.systems.items():
+            if system.integrity is not None:
+                system.set_geo_repair(self._make_geo_repair(name))
+                if self.replicator.integrity is None:
+                    # WAN payload verification accounts on the first
+                    # integrity-enabled site's ledger.
+                    self.replicator.integrity = system.integrity
+
+    def _make_geo_repair(self, site_name: str):
+        """The geo tier's fetch hook for one site: pull ``nbytes`` from
+        the nearest live peer site over the WAN (repair traffic rides the
+        same encrypted conduits as replication)."""
+        def fetch(req, nbytes: int) -> Event:
+            origin = self.network.sites[site_name]
+            peers = self.network.neighbors_by_distance(origin, 0.0)
+            done = Event(self.sim)
+            if not peers:
+                from ..sim.faults import SimulatedFault
+                done.fail(SimulatedFault(
+                    f"no live peer site to refetch for {site_name}"))
+                return done
+
+            def run():
+                try:
+                    yield self.network.transfer(peers[0], origin, nbytes)
+                except Exception as exc:
+                    done.fail(exc)
+                    return
+                done.succeed(nbytes)
+
+            self.sim.process(run(), name=f"geo.repair.{site_name}")
+            return done
+
+        return fetch
 
     # -- topology -------------------------------------------------------------------
 

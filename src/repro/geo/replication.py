@@ -47,9 +47,18 @@ class GeoFile:
 class GeoReplicator:
     """Drives per-write replication according to each file's policy."""
 
-    def __init__(self, sim: "Simulator", network: WanNetwork) -> None:
+    def __init__(self, sim: "Simulator", network: WanNetwork,
+                 integrity=None, verify_payloads: bool = True) -> None:
         self.sim = sim
         self.network = network
+        #: Destination-side payload verification: with an IntegrityManager
+        #: attached, a WAN hop damaged in flight is caught before the
+        #: remote store_write acks (one resend makes it whole); with
+        #: ``verify_payloads`` off the corrupt bytes land silently.
+        self.integrity = integrity
+        self.verify_payloads = verify_payloads
+        self._corrupt_pending = 0
+        self.resends = 0
         self.files: dict[str, GeoFile] = {}
         #: bytes acked at the source but not yet at (path, target_site)
         self.async_backlog: dict[tuple[str, str], int] = defaultdict(int)
@@ -117,6 +126,37 @@ class GeoReplicator:
             if self.sim.obs is not None:
                 self.sim.obs.log.info("geo.replication", "site_recovered",
                                       site=site_name)
+
+    # -- in-flight verification ---------------------------------------------------------
+
+    def corrupt_next(self, count: int = 1) -> None:
+        """Arm in-flight damage on the next ``count`` WAN payload hops
+        (the WIRE_CORRUPT fault hook)."""
+        if self.integrity is None:
+            raise RuntimeError("attach an IntegrityManager before arming "
+                               "wire faults")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._corrupt_pending += count
+
+    def _wire_check(self, origin: Site, target: Site, nbytes: int):
+        """Destination-side payload verification for one WAN hop; yields
+        the resend transfer when damage is caught, nothing otherwise."""
+        if self.integrity is None or self._corrupt_pending <= 0:
+            return
+        self._corrupt_pending -= 1
+        if self.verify_payloads:
+            self.integrity.wire_event("wire_corrupt", detected=True,
+                                      repaired=True)
+            self.resends += 1
+            self.metrics.counter("wan.resends").incr()
+            if self.sim.obs is not None:
+                self.sim.obs.log.warning("geo.replication",
+                                         "payload_digest_miss",
+                                         target=target.name, nbytes=nbytes)
+            yield self.network.transfer(origin, target, nbytes)
+        else:
+            self.integrity.wire_event("wire_corrupt", detected=False)
 
     # -- the write path -----------------------------------------------------------------
 
@@ -210,6 +250,7 @@ class GeoReplicator:
             try:
                 with span:
                     yield self.network.transfer(origin, target, nbytes)
+                    yield from self._wire_check(origin, target, nbytes)
                     yield target.store_write(nbytes)
                     # The remote site's acknowledgment rides back one-way.
                     yield self.sim.timeout(
@@ -288,6 +329,7 @@ class GeoReplicator:
                 continue
             try:
                 yield self.network.transfer(origin, target, chunk)
+                yield from self._wire_check(origin, target, chunk)
                 yield target.store_write(chunk)
             except FAULT_EXCEPTIONS as exc:
                 # Route or target failed under us; a wrapped model bug

@@ -14,11 +14,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator
 
 from ..sim.events import Event
-from ..sim.faults import SimulatedFault
+from ..sim.faults import CorruptionError, SimulatedFault
 from ..sim.resources import PriorityResource
 from ..sim.stats import TimeWeighted
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..integrity.manager import IntegrityManager
     from ..sim.engine import Simulator
 
 
@@ -54,6 +55,13 @@ class Disk:
         self.utilization = TimeWeighted(sim)
         self.ops = 0
         self.bytes_moved = 0
+        #: End-to-end integrity hook (None = checksumming disabled, the
+        #: default: the data path then pays a single ``is not None`` test).
+        #: When set, writes stamp their range and reads verify it, failing
+        #: the I/O with :class:`~repro.sim.faults.CorruptionError` on a
+        #: checksum miss — after the full media service time, like a real
+        #: drive that reads the sector before the T10-DIF check can fail.
+        self.integrity: "IntegrityManager | None" = None
 
     # -- failure control ------------------------------------------------------
 
@@ -70,19 +78,20 @@ class Disk:
 
     def read(self, offset: int, nbytes: int, priority: float = 0.0) -> Event:
         """Read ``nbytes`` at ``offset``; event fires on completion."""
-        return self._io(offset, nbytes, priority)
+        return self._io(offset, nbytes, priority, "read")
 
     def write(self, offset: int, nbytes: int, priority: float = 0.0) -> Event:
         """Write ``nbytes`` at ``offset``; event fires on completion."""
-        return self._io(offset, nbytes, priority)
+        return self._io(offset, nbytes, priority, "write")
 
-    def _io(self, offset: int, nbytes: int, priority: float) -> Event:
+    def _io(self, offset: int, nbytes: int, priority: float,
+            op: str) -> Event:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity:
             raise ValueError(
                 f"I/O [{offset}, {offset + nbytes}) outside disk of "
                 f"{self.capacity} bytes")
         done = Event(self.sim)
-        self.sim.process(self._serve(offset, nbytes, priority, done),
+        self.sim.process(self._serve(offset, nbytes, priority, op, done),
                          name=f"{self.name}.io")
         return done
 
@@ -105,7 +114,7 @@ class Disk:
             positioning = seek + self.rotational_latency
         return positioning + nbytes / self.transfer_rate
 
-    def _serve(self, offset: int, nbytes: int, priority: float,
+    def _serve(self, offset: int, nbytes: int, priority: float, op: str,
                done: Event) -> Generator:
         if self.failed:
             done.fail(DiskFailedError(f"{self.name} has failed"))
@@ -125,6 +134,18 @@ class Disk:
                 return
             self.ops += 1
             self.bytes_moved += nbytes
+            integ = self.integrity
+            if integ is not None:
+                if op == "write":
+                    integ.stamp(self.name, offset, nbytes)
+                else:
+                    miss = integ.verify(self.name, offset, nbytes)
+                    if miss is not None:
+                        start, length, kind = miss
+                        integ.note_detected(self.name, start)
+                        done.fail(CorruptionError(self.name, start,
+                                                  length, kind))
+                        return
             done.succeed(nbytes)
         finally:
             self._queue.release(req)

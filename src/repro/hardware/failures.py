@@ -1,13 +1,22 @@
-"""Failure injection for disks, blades, links, and whole sites.
+"""Failure injection for disks, blades, links, and whole sites (legacy).
 
 Availability claims (§6) are tested by injecting failures: either scheduled
 one-shots ("kill blade 3 at t=40s, mid-rebuild") or stochastic
 exponential MTBF/MTTR lifecycles for long-run availability measurement.
 Components follow a tiny duck-typed protocol: ``fail()`` / ``repair()``.
+
+This predates :mod:`repro.faults` and is kept for scheduled one-shots
+against bare components.  New campaigns should build a
+:meth:`~repro.faults.plan.FaultPlan.random` plan and arm it through the
+:class:`~repro.faults.injector.FaultInjector` — typed faults, replayable
+JSON provenance, and RecoveryTracker availability accounting.  Pass a
+``tracker_registry`` (anything with ``.tracker(name)``, e.g. a
+FaultInjector) to route this injector's events onto the same trackers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Protocol
 
 import numpy as np
@@ -47,11 +56,17 @@ class FailureInjector:
 
     def __init__(self, sim: "Simulator",
                  on_fail: Callable[[Any], None] | None = None,
-                 on_repair: Callable[[Any], None] | None = None) -> None:
+                 on_repair: Callable[[Any], None] | None = None,
+                 tracker_registry=None) -> None:
         self.sim = sim
         self.log: list[FailureEvent] = []
         self._on_fail = on_fail
         self._on_repair = on_repair
+        #: Optional ``.tracker(name)`` provider (a FaultInjector works):
+        #: every fail/repair then lands on the shared RecoveryTracker for
+        #: the component, unifying legacy events with repro.faults
+        #: availability accounting.
+        self._tracker_registry = tracker_registry
 
     # -- scheduled one-shots ----------------------------------------------------
 
@@ -82,7 +97,17 @@ class FailureInjector:
 
         ``mtbf`` is mean time between failures (up time), ``mttr`` mean time
         to repair.  The process stops once the horizon is passed.
+
+        .. deprecated::
+            Build a :meth:`repro.faults.plan.FaultPlan.random` campaign and
+            arm it through :class:`repro.faults.injector.FaultInjector`
+            instead — same Poisson process, plus typed kinds, JSON
+            provenance, and tracker-based availability.
         """
+        warnings.warn(
+            "FailureInjector.run_lifecycle is deprecated; use "
+            "FaultPlan.random(...) with FaultInjector (repro.faults)",
+            DeprecationWarning, stacklevel=2)
         if mtbf <= 0 or mttr <= 0:
             raise ValueError("mtbf and mttr must be > 0")
         self.sim.process(self._lifecycle(component, rng, mtbf, mttr, horizon),
@@ -102,12 +127,20 @@ class FailureInjector:
 
     def _apply(self, component: Failable, kind: str) -> None:
         self.log.append(FailureEvent(self.sim.now, component, kind))
+        tracker = None
+        if self._tracker_registry is not None:
+            name = getattr(component, "name", None) or repr(component)
+            tracker = self._tracker_registry.tracker(name)
         if kind == "fail":
             component.fail()
+            if tracker is not None:
+                tracker.fail("legacy failure injection")
             if self._on_fail is not None:
                 self._on_fail(component)
         else:
             component.repair()
+            if tracker is not None:
+                tracker.recovered("legacy repair")
             if self._on_repair is not None:
                 self._on_repair(component)
 

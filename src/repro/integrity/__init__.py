@@ -1,0 +1,36 @@
+"""End-to-end data integrity: checksums, scrub, and repair escalation.
+
+* :mod:`~repro.integrity.checksum` — the functional codec: self-
+  describing block checksums (identity-seeded CRC) that provably catch
+  bitrot, torn writes, and misdirected writes.
+* :mod:`~repro.integrity.manager` — :class:`IntegrityManager`: the
+  simulation's corruption ledger (stamp on write, verify on read) and the
+  injected/detected/repaired/unrepairable/silent accounting.
+* :mod:`~repro.integrity.scrub` — :class:`ScrubDaemon`: background
+  whole-farm verification at a configurable rate.
+* :mod:`~repro.integrity.repair` — :class:`RepairChain`: escalation over
+  good-copy tiers (cache replica → RAID parity → geo replica), each
+  attempt under the shared retry policy.
+
+The corruption fault kinds (``BITROT``, ``TORN_WRITE``, ``WIRE_CORRUPT``,
+``MISDIRECTED_WRITE``) live with the rest of the taxonomy in
+:mod:`repro.faults.plan`; :class:`~repro.sim.faults.CorruptionError` sits
+in the base taxonomy so every layer can raise it without cycles.
+"""
+
+from .checksum import block_checksum, identity_seed, verify_block
+from .manager import IntegrityManager
+from .repair import RepairChain, RepairFailed, RepairRequest
+from .scrub import SCRUB_PRIORITY, ScrubDaemon
+
+__all__ = [
+    "IntegrityManager",
+    "RepairChain",
+    "RepairFailed",
+    "RepairRequest",
+    "SCRUB_PRIORITY",
+    "ScrubDaemon",
+    "block_checksum",
+    "identity_seed",
+    "verify_block",
+]

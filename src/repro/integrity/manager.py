@@ -1,0 +1,212 @@
+"""Integrity bookkeeping: which stored ranges would fail verification.
+
+The simulation moves no real payload bytes, so end-to-end checksums
+(:mod:`repro.integrity.checksum` holds the functional codec) are modeled
+as bookkeeping: a write **stamps** its range (checksum now matches), an
+injected corruption records a range + kind (checksum now mismatches), and
+every read-side verification point — disk reads, scrub passes, cache
+hits, destage — asks the manager whether its range is clean.  The model
+keeps exactly the properties the codec proves: any corrupt overlap is
+detected, a rewrite of the range heals it, and distinct fault kinds
+(bitrot / torn write / misdirected write / wire corruption) stay
+distinguishable in the accounting.
+
+Counters follow the lifecycle one incident at a time — ``injected``,
+``detected`` (deduplicated per corrupt address, however many readers trip
+over it), ``repaired`` / ``unrepairable`` (resolution, recorded by the
+:class:`~repro.integrity.repair.RepairChain`), and ``silent`` for
+in-flight corruption that passed because digests were disabled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Hashable
+
+from ..obs.telemetry import ComponentHealth, HealthState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.telemetry import ManagementPlane
+    from ..sim.engine import Simulator
+
+Address = Hashable
+
+
+class IntegrityManager:
+    """One deployment's corruption ledger and detection/repair counters."""
+
+    def __init__(self, sim: "Simulator", name: str = "integrity") -> None:
+        self.sim = sim
+        self.name = name
+        #: domain -> start address -> (length, kind).  Disk domains use
+        #: integer byte offsets (range overlap applies); cache domains use
+        #: opaque ``(blade, key)`` addresses with length 0.
+        self._corrupt: dict[str, dict[Address, tuple[int, str]]] = \
+            defaultdict(dict)
+        #: domain -> start -> length of ranges written since boot (stamped
+        #: = carrying a valid checksum).  Injection campaigns prefer these
+        #: so corruption lands on data a client actually stored.
+        self._stamps: dict[str, dict[int, int]] = defaultdict(dict)
+        #: (domain, address) pairs whose detection was already counted.
+        self._detected_at: set[tuple[str, Address]] = set()
+        #: detected incidents awaiting a repair/unrepairable resolution.
+        self._open: set[tuple[str, Address]] = set()
+        self.injected_by_kind: dict[str, int] = defaultdict(int)
+        self.injected_total = 0
+        self.detected_total = 0
+        self.repaired_total = 0
+        self.unrepairable_total = 0
+        #: in-flight corruption delivered unverified (digests off).
+        self.silent_total = 0
+
+    # -- write/stamp side -------------------------------------------------------
+
+    def stamp(self, domain: str, address: int, length: int) -> None:
+        """A write landed: the range now carries a matching checksum.
+
+        Clears any corruption record the write overlaps (the bad bytes
+        were overwritten) and remembers the range as stamped.
+        """
+        records = self._corrupt.get(domain)
+        if records:
+            end = address + length
+            for start in [s for s, (rlen, _k) in records.items()
+                          if isinstance(s, int)
+                          and s < end and address < s + rlen]:
+                del records[start]
+        stamps = self._stamps[domain]
+        prev = stamps.get(address, 0)
+        if length > prev:
+            stamps[address] = length
+
+    def stamped_overlap(self, domain: str, address: int,
+                        length: int) -> bool:
+        """True if any stamped (client-written) range overlaps."""
+        end = address + length
+        return any(s < end and address < s + slen
+                   for s, slen in self._stamps.get(domain, {}).items())
+
+    def stamped_addresses(self, domain: str) -> list[int]:
+        """Stamped range starts in one domain, deterministic order —
+        the candidate set for at-rest corruption campaigns."""
+        return sorted(self._stamps.get(domain, {}))
+
+    # -- corruption side --------------------------------------------------------
+
+    def corrupt(self, domain: str, address: Address, length: int,
+                kind: str) -> bool:
+        """Inject at-rest corruption; returns False if the exact address
+        is already corrupt (campaigns then probe another location)."""
+        records = self._corrupt[domain]
+        if address in records:
+            return False
+        records[address] = (length, kind)
+        # A fresh incident at a previously repaired address counts anew.
+        self._detected_at.discard((domain, address))
+        self.injected_by_kind[kind] += 1
+        self.injected_total += 1
+        return True
+
+    def clear(self, domain: str, address: Address) -> None:
+        """Drop one corruption record (the repair chain rewrote it)."""
+        self._corrupt.get(domain, {}).pop(address, None)
+
+    def verify(self, domain: str, address: int,
+               length: int) -> tuple[int, int, str] | None:
+        """First corrupt record overlapping ``[address, address+length)``
+        as ``(start, length, kind)``, or None when the range is clean."""
+        records = self._corrupt.get(domain)
+        if not records:
+            return None
+        end = address + length
+        best: tuple[int, int, str] | None = None
+        for start, (rlen, kind) in records.items():
+            if isinstance(start, int) and start < end and address < start + rlen:
+                if best is None or start < best[0]:
+                    best = (start, rlen, kind)
+        return best
+
+    def is_corrupt(self, domain: str, address: Address) -> bool:
+        """Exact-address probe (cache keys, not byte ranges)."""
+        return address in self._corrupt.get(domain, {})
+
+    def corrupt_records(self, domain: str) -> list[tuple[Address, int, str]]:
+        """Outstanding corruption in one domain, deterministic order."""
+        return sorted(((a, ln, k) for a, (ln, k)
+                       in self._corrupt.get(domain, {}).items()),
+                      key=lambda rec: repr(rec[0]))
+
+    def outstanding(self) -> int:
+        """Corrupt records not yet healed, across all domains."""
+        return sum(len(r) for r in self._corrupt.values())
+
+    # -- detection / resolution -------------------------------------------------
+
+    def note_detected(self, domain: str, address: Address) -> bool:
+        """Count a verification miss once per corrupt address; re-reads of
+        a known-bad range don't inflate the detected counter."""
+        tag = (domain, address)
+        if tag in self._detected_at:
+            return False
+        self._detected_at.add(tag)
+        self._open.add(tag)
+        self.detected_total += 1
+        return True
+
+    def note_repaired(self, domain: str, address: Address) -> None:
+        tag = (domain, address)
+        if tag in self._open:
+            self._open.discard(tag)
+            self.repaired_total += 1
+
+    def note_unrepairable(self, domain: str, address: Address) -> None:
+        tag = (domain, address)
+        if tag in self._open:
+            self._open.discard(tag)
+            self.unrepairable_total += 1
+
+    def wire_event(self, kind: str, detected: bool,
+                   repaired: bool = False) -> None:
+        """One in-flight corruption incident (no at-rest record): counted
+        injected at the moment it hits a transfer; ``detected`` reflects
+        whether the endpoint ran digests, ``repaired`` whether the
+        retransmit made the payload whole."""
+        self.injected_by_kind[kind] += 1
+        self.injected_total += 1
+        if detected:
+            self.detected_total += 1
+            if repaired:
+                self.repaired_total += 1
+            else:
+                self.unrepairable_total += 1
+        else:
+            self.silent_total += 1
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "injected": float(self.injected_total),
+            "detected": float(self.detected_total),
+            "repaired": float(self.repaired_total),
+            "unrepairable": float(self.unrepairable_total),
+            "silent": float(self.silent_total),
+            "outstanding": float(self.outstanding()),
+            "open_incidents": float(len(self._open)),
+        }
+
+    def health(self) -> ComponentHealth:
+        if self.unrepairable_total > 0:
+            state = HealthState.FAILED
+            detail = f"{self.unrepairable_total} unrepairable"
+        elif self._open or self.outstanding():
+            state = HealthState.DEGRADED
+            detail = f"{len(self._open)} incidents open"
+        else:
+            state = HealthState.UP
+            detail = ""
+        return ComponentHealth(self.name, state, metrics=self.summary(),
+                               detail=detail)
+
+    def register_health(self, mgmt: "ManagementPlane") -> None:
+        mgmt.register(self.name, self.health)

@@ -27,13 +27,34 @@ class IscsiPortal:
     def __init__(self, sim: "Simulator", target: ScsiTarget,
                  network_rtt: float = us(300),
                  tcp_cost_per_byte: float = 1.0 / 400e6,
-                 name: str = "iscsi") -> None:
+                 name: str = "iscsi", integrity=None,
+                 header_digest: bool = True,
+                 data_digest: bool = True) -> None:
         self.sim = sim
         self.target = target
         self.network_rtt = network_rtt
         self.tcp_cost_per_byte = tcp_cost_per_byte
         self.name = name
         self.sessions: dict[str, str] = {}  # session id -> initiator iqn
+        #: RFC 3720 HeaderDigest/DataDigest: with an IntegrityManager
+        #: attached, a damaged PDU is caught by either digest (one
+        #: retransmit makes the response whole) or delivered silently
+        #: corrupt when both are negotiated off.
+        self.integrity = integrity
+        self.header_digest = header_digest
+        self.data_digest = data_digest
+        self._corrupt_pending = 0
+        self.retransmits = 0
+
+    def corrupt_next(self, count: int = 1) -> None:
+        """Arm PDU damage on the next ``count`` commands (the
+        WIRE_CORRUPT fault hook)."""
+        if self.integrity is None:
+            raise RuntimeError("attach an IntegrityManager before arming "
+                               "wire faults")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._corrupt_pending += count
 
     def login(self, iqn: str) -> str:
         """Establish a session; the session id names the initiator."""
@@ -68,5 +89,16 @@ class IscsiPortal:
                 raise
             done.fail(exc)
             return
+        if self.integrity is not None and self._corrupt_pending > 0:
+            self._corrupt_pending -= 1
+            if self.header_digest or self.data_digest:
+                # Digest miss on the response PDUs: retransmit them.
+                self.integrity.wire_event("wire_corrupt", detected=True,
+                                          repaired=True)
+                self.retransmits += 1
+                yield self.sim.timeout(self.network_rtt / 2)
+                yield self.sim.timeout(self.tcp_cost_per_byte * nbytes)
+            else:
+                self.integrity.wire_event("wire_corrupt", detected=False)
         yield self.sim.timeout(self.network_rtt / 2)
         done.succeed(result)

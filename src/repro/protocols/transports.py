@@ -67,7 +67,8 @@ class TransportEndpoint:
     """Applies a transport's processing costs around a wire transfer."""
 
     def __init__(self, sim: "Simulator", profile: TransportProfile,
-                 wire_bandwidth: float) -> None:
+                 wire_bandwidth: float, integrity=None,
+                 digests: bool = True) -> None:
         if wire_bandwidth <= 0:
             raise ValueError("wire_bandwidth must be > 0")
         self.sim = sim
@@ -75,6 +76,23 @@ class TransportEndpoint:
         self.wire_bandwidth = wire_bandwidth
         self.ops = 0
         self.host_cpu_seconds = 0.0
+        #: In-flight verification: with an IntegrityManager attached,
+        #: ``digests`` decides whether a damaged payload is caught (one
+        #: retransmit makes it whole) or delivered silently corrupt.
+        self.integrity = integrity
+        self.digests = digests
+        self._corrupt_pending = 0
+        self.retransmits = 0
+
+    def corrupt_next(self, count: int = 1) -> None:
+        """Arm in-flight damage on the next ``count`` operations (the
+        WIRE_CORRUPT fault hook)."""
+        if self.integrity is None:
+            raise RuntimeError("attach an IntegrityManager before arming "
+                               "wire faults")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._corrupt_pending += count
 
     def transfer(self, nbytes: int) -> Event:
         """One operation moving ``nbytes``: protocol work + wire time."""
@@ -88,6 +106,11 @@ class TransportEndpoint:
                                     nbytes=nbytes)
                     if obs is not None else NULL_SPAN)
             with span:
+                damaged = False
+                if self.integrity is not None \
+                        and self._corrupt_pending > 0:
+                    self._corrupt_pending -= 1
+                    damaged = True
                 remaining = nbytes
                 while True:
                     take = min(remaining, self.profile.max_payload)
@@ -99,6 +122,23 @@ class TransportEndpoint:
                     remaining -= take
                     if remaining <= 0:
                         break
+                if damaged:
+                    if self.digests:
+                        # Digest miss on a payload op: one retransmit.
+                        self.integrity.wire_event("wire_corrupt",
+                                                  detected=True,
+                                                  repaired=True)
+                        self.retransmits += 1
+                        take = min(nbytes, self.profile.max_payload)
+                        yield self.sim.timeout(self.profile.op_time(take))
+                        yield self.sim.timeout(take / self.wire_bandwidth)
+                        self.ops += 1
+                        self.host_cpu_seconds += \
+                            take * self.profile.host_cpu_per_byte
+                    else:
+                        # Digests off: the damage rides through unseen.
+                        self.integrity.wire_event("wire_corrupt",
+                                                  detected=False)
             done.succeed(nbytes)
 
         self.sim.process(run(), name=f"xport.{self.profile.name}")

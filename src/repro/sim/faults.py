@@ -40,6 +40,43 @@ class LinkDownError(SimulatedFault):
     """A transfer was issued on a link that is flapped down / partitioned."""
 
 
+class CorruptionError(SimulatedFault):
+    """A checksum verification miss: the bytes read do not match the bytes
+    written (bitrot, torn write, misdirected write, wire corruption).
+
+    Carries enough addressing (``domain`` — the component name that found
+    it, ``address``/``length`` — the corrupt range, ``kind`` — what was
+    injected) for the repair escalation chain in :mod:`repro.integrity` to
+    locate a good copy.
+    """
+
+    def __init__(self, domain: str, address, length: int = 0,
+                 kind: str = "unknown") -> None:
+        super().__init__(
+            f"checksum mismatch on {domain} at {address!r} "
+            f"(+{length}B, {kind})")
+        self.domain = domain
+        self.address = address
+        self.length = length
+        self.kind = kind
+
+
+def find_corruption(exc: BaseException | None,
+                    _depth: int = 8) -> "CorruptionError | None":
+    """The :class:`CorruptionError` that ``exc`` is or wraps, if any.
+
+    Mirrors :func:`is_fault`: walks ``__cause__`` chains so a
+    ``ConditionError`` from an ``all_of`` barrier over a failed disk read
+    classifies by the verification miss underneath.
+    """
+    while exc is not None and _depth > 0:
+        if isinstance(exc, CorruptionError):
+            return exc
+        exc = exc.__cause__
+        _depth -= 1
+    return None
+
+
 #: What recovery code may catch: direct faults, ``OSError`` (the Python-
 #: native I/O failure — model backends use e.g. ``IOError("medium
 #: error")`` for media defects), plus condition barriers (an ``AllOf``/

@@ -1,0 +1,148 @@
+"""Corruption kinds in the fault-plan layer, and the legacy-injector
+unification: typed plans round-trip the new kinds, unknown kinds fail
+loudly with file context, campaigns bind to integrity-enabled systems,
+and the legacy FailureInjector routes onto shared RecoveryTrackers."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import FaultKind, FaultPlan, NetStorageSystem, Simulator, \
+    SystemConfig
+from repro.faults import FaultInjector
+from repro.faults.plan import _CORRUPTION_KINDS, FaultSpec
+from repro.hardware.failures import FailureInjector
+from repro.sim.units import mib
+
+
+# -- plan round-trip -------------------------------------------------------
+
+
+def test_corruption_kinds_round_trip_json():
+    plan = (FaultPlan()
+            .add(10.0, FaultKind.BITROT, "disk3")
+            .add(20.0, FaultKind.TORN_WRITE, "disk7", severity=2.0)
+            .add(30.0, FaultKind.MISDIRECTED_WRITE, "disk0")
+            .add(40.0, FaultKind.WIRE_CORRUPT, "cache", severity=3.0))
+    clone = FaultPlan.from_json(plan.to_json())
+    assert clone.specs == plan.specs
+    assert [s.kind for s in clone] == [
+        FaultKind.BITROT, FaultKind.TORN_WRITE,
+        FaultKind.MISDIRECTED_WRITE, FaultKind.WIRE_CORRUPT]
+
+
+def test_unknown_kind_names_kind_and_context():
+    doc = ('{"faults": [{"at": 1.0, "kind": "bitrot", "target": "d0"}, '
+           '{"at": 2.0, "kind": "gamma_ray", "target": "d1"}]}')
+    with pytest.raises(ValueError) as err:
+        FaultPlan.from_json(doc, context="campaign.json")
+    msg = str(err.value)
+    assert "gamma_ray" in msg
+    assert "campaign.json fault #1" in msg
+    assert "bitrot" in msg  # the known-kinds list helps fix the fixture
+
+
+def test_unknown_kind_default_context():
+    with pytest.raises(ValueError) as err:
+        FaultSpec.from_dict({"at": 0.0, "kind": "nope", "target": "x"})
+    assert "'nope'" in str(err.value)
+
+
+def test_random_campaign_corruption_semantics():
+    plan = FaultPlan.random(
+        99, 3600.0 * 24 * 30,
+        {FaultKind.BITROT: ["disk0", "disk1"],
+         FaultKind.WIRE_CORRUPT: ["cache"]},
+        mtbf=3600.0 * 48, mttr=3600.0, corruption_burst=4)
+    assert len(plan) > 0
+    for spec in plan:
+        assert spec.kind in _CORRUPTION_KINDS
+        assert spec.duration == 0.0   # silent: no timed repair window
+        assert spec.severity == 4.0   # corruption_burst
+    # Determinism: same seed, same campaign (through JSON, too).
+    again = FaultPlan.random(
+        99, 3600.0 * 24 * 30,
+        {FaultKind.BITROT: ["disk0", "disk1"],
+         FaultKind.WIRE_CORRUPT: ["cache"]},
+        mtbf=3600.0 * 48, mttr=3600.0, corruption_burst=4)
+    assert again.to_json() == plan.to_json()
+
+
+# -- binding to a system ---------------------------------------------------
+
+
+def _quiesced_system(sim, integrity):
+    system = NetStorageSystem(sim, SystemConfig(
+        blade_count=4, disk_count=16, disk_capacity=mib(64), seed=7,
+        integrity=integrity))
+    system.start()
+    system.create("/d")
+    sim.run(until=system.write("/d", 0, mib(1)))
+    sim.run()
+    return system
+
+
+def test_campaign_applies_at_rest_corruption():
+    sim = Simulator()
+    system = _quiesced_system(sim, integrity=True)
+    injector = system.attach_faults(
+        FaultPlan().add(5.0, FaultKind.BITROT, "disk2", severity=2.0))
+    sim.run(until=10.0)
+    assert injector.applied == 1
+    disk = system.pool.disks[2]
+    assert len(system.integrity.corrupt_records(disk.name)) == 2
+    assert system.integrity.injected_by_kind["bitrot"] == 2
+
+
+def test_corruption_binding_requires_integrity():
+    sim = Simulator()
+    system = _quiesced_system(sim, integrity=False)
+    injector = system.attach_faults()
+    # Without an IntegrityManager there is nothing to account corruption
+    # against, so the targets simply don't exist — strict arming says so.
+    with pytest.raises(KeyError):
+        injector.arm(FaultPlan().add(5.0, FaultKind.BITROT, "disk2"))
+    # Non-strict arming skips them, as stochastic over-generation would.
+    injector.arm(FaultPlan().add(5.0, FaultKind.BITROT, "disk2"),
+                 strict=False)
+    assert injector.skipped == 1
+
+
+# -- legacy FailureInjector unification ------------------------------------
+
+
+class _Fragile:
+    def __init__(self, name):
+        self.name = name
+        self.up = True
+
+    def fail(self):
+        self.up = False
+
+    def repair(self):
+        self.up = True
+
+
+def test_legacy_injector_routes_events_to_shared_trackers():
+    sim = Simulator()
+    registry = FaultInjector(sim)  # anything with .tracker(name)
+    legacy = FailureInjector(sim, tracker_registry=registry)
+    comp = _Fragile("blade9")
+    legacy.fail_at(comp, 10.0)
+    legacy.repair_at(comp, 25.0)
+    sim.run(until=50.0)
+    assert not comp.up or comp.up  # both events applied below
+    tracker = registry.tracker("blade9")
+    assert tracker.failures == 1
+    assert tracker.state.value == "up"
+    assert tracker.availability() < 1.0  # the 15 s outage is on record
+    assert legacy.failures_injected() == 1
+
+
+def test_legacy_lifecycle_is_deprecated():
+    sim = Simulator()
+    legacy = FailureInjector(sim)
+    with pytest.warns(DeprecationWarning, match="FaultPlan.random"):
+        legacy.run_lifecycle(_Fragile("c0"), np.random.default_rng(1),
+                             mtbf=100.0, mttr=10.0, horizon=50.0)

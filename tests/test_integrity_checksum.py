@@ -1,0 +1,66 @@
+"""The functional checksum layer: the properties the bookkeeping model
+assumes, proved against real bytes (see repro/integrity/checksum.py)."""
+
+import pytest
+
+from repro.integrity.checksum import (block_checksum, flip_bit,
+                                      identity_seed, torn_write,
+                                      verify_block)
+
+PAYLOAD = bytes(range(256)) * 2  # 512 B, every byte value present
+
+
+def test_checksum_roundtrip_verifies():
+    ck = block_checksum(PAYLOAD, "disk3", 4096)
+    assert verify_block(PAYLOAD, "disk3", 4096, ck)
+
+
+def test_checksum_is_deterministic():
+    assert block_checksum(PAYLOAD, "disk3", 4096) == \
+        block_checksum(bytes(PAYLOAD), "disk3", 4096)
+
+
+def test_identity_seed_differs_by_domain_and_address():
+    seeds = {identity_seed("disk0", 0), identity_seed("disk1", 0),
+             identity_seed("disk0", 512), identity_seed("cache", 0)}
+    assert len(seeds) == 4
+
+
+def test_every_flipped_bit_is_detected():
+    ck = block_checksum(PAYLOAD, "disk0", 0)
+    # CRC32 detects any single-bit error; sample densely across the block.
+    for bit in range(0, 8 * len(PAYLOAD), 7):
+        assert not verify_block(flip_bit(PAYLOAD, bit), "disk0", 0, ck)
+
+
+def test_flip_bit_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        flip_bit(PAYLOAD, 8 * len(PAYLOAD))
+    with pytest.raises(ValueError):
+        flip_bit(PAYLOAD, -1)
+
+
+def test_torn_write_detected_at_any_partial_boundary():
+    old = bytes(len(PAYLOAD))  # what was on media before
+    ck_new = block_checksum(PAYLOAD, "disk0", 0)
+    for boundary in (0, 1, len(PAYLOAD) // 2, len(PAYLOAD) - 1):
+        torn = torn_write(old, PAYLOAD, boundary)
+        assert not verify_block(torn, "disk0", 0, ck_new)
+    # boundary == len means the write completed: verification passes.
+    assert verify_block(torn_write(old, PAYLOAD, len(PAYLOAD)),
+                        "disk0", 0, ck_new)
+
+
+def test_torn_write_validates_inputs():
+    with pytest.raises(ValueError):
+        torn_write(b"short", PAYLOAD, 0)
+    with pytest.raises(ValueError):
+        torn_write(bytes(len(PAYLOAD)), PAYLOAD, len(PAYLOAD) + 1)
+
+
+def test_misdirected_write_fails_verification():
+    # Perfectly valid bytes at the wrong address: the identity seed under
+    # the CRC differs, so the stored checksum cannot match.
+    ck_at_home = block_checksum(PAYLOAD, "disk0", 4096)
+    assert not verify_block(PAYLOAD, "disk0", 8192, ck_at_home)
+    assert not verify_block(PAYLOAD, "disk7", 4096, ck_at_home)
