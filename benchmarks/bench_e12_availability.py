@@ -23,9 +23,10 @@ from repro.baseline import DualControllerArray
 from repro.cluster import ControllerCluster
 from repro.core import format_table, print_experiment
 from repro.faults import FaultInjector
+from repro.obs import RatioSLO, ThresholdSLO
 from repro.sim import Simulator
 from repro.sim.faults import FAULT_EXCEPTIONS
-from repro.sim.units import days, hours, mib
+from repro.sim.units import days, hours, mib, minutes
 
 HORIZON = days(90)
 MTBF = hours(2000)
@@ -81,6 +82,86 @@ def faultplan_campaign(plan: FaultPlan | None = None,
     sim.process(client())
     sim.run(until=horizon)
     return system, injector, outcome["ok"], outcome["failed"]
+
+
+#: The SLO campaign compresses the canned plan's shape into 12 hours so
+#: burn-rate evaluation (6 h TICKET windows, 60 s series intervals) fits
+#: comfortably inside the series retention and the bench stays fast.
+SLO_HORIZON = hours(12)
+
+#: Client-latency objective: "99 % of 60 s intervals keep read p99 under
+#: this".  The healthy 4-blade / 1 MiB workload reads in ~125 µs; a
+#: severity-4 slow node pushes interval p99 to ~425 µs for the whole
+#: gray-failure window, while crash-window remote refills peak below
+#: ~200 µs — so 300 µs separates gray failure from mere degradation.
+SLO_LATENCY_BOUND = 0.0003
+
+
+def slo_fault_plan() -> FaultPlan:
+    """Two crashes and a gray failure, spaced so alerts fire and resolve."""
+    return (FaultPlan()
+            .add(hours(2), FaultKind.BLADE_CRASH, "blade1",
+                 duration=hours(1))
+            .add(hours(6), FaultKind.SLOW_NODE, "blade3",
+                 duration=hours(1), severity=4.0)
+            .add(hours(9), FaultKind.BLADE_CRASH, "blade2",
+                 duration=minutes(30)))
+
+
+def slo_campaign(plan: FaultPlan | None = None,
+                 horizon: float = SLO_HORIZON):
+    """Drive the burn-rate alerting pipeline with a seeded fault campaign.
+
+    Declares three objectives over the labeled time series the stack
+    emits — blades-up (level series), client p99 latency, and client
+    error ratio — starts the periodic SLO evaluator, and runs a steady
+    2-minute-cadence client under ``plan``.  Everything is simulated
+    time, so the alert log (names, severities, fire times) is exactly
+    reproducible run to run.
+
+    Returns ``(system, injector, obs)``; read the verdict off
+    ``obs.slo.alert_log()``.
+    """
+    sim = Simulator()
+    system = NetStorageSystem(sim, SystemConfig(
+        blade_count=4, disk_count=16, disk_capacity=mib(64), seed=42))
+    # 60 s downsampling intervals: 720 windows of retention covers the
+    # 12 h horizon, comfortably beyond the 6 h slow burn window.
+    obs = system.enable_observability(series_interval=60.0,
+                                      series_capacity=720, tracing=False)
+    # Prime the availability level at "all blades up" so burn windows
+    # that start before the first failure see healthy slots, not a
+    # series that begins mid-outage.
+    obs.series.level("cluster.blades_down").record(0.0)
+    obs.add_slo(ThresholdSLO(
+        "blades-up", 0.999, series="cluster.blades_down", bound=0.0,
+        stat="max", description="no blade down (level series)"))
+    obs.add_slo(ThresholdSLO(
+        "client-latency", 0.99, series="client.latency_s",
+        bound=SLO_LATENCY_BOUND, stat="p99", labels={"op": "read"},
+        description=f"read p99 under {SLO_LATENCY_BOUND * 1e6:.0f} us "
+                    "per interval"))
+    obs.add_slo(RatioSLO(
+        "client-errors", 0.999, good="client.ops_ok",
+        bad="client.ops_failed", description="client op success ratio"))
+    obs.slo.start(period=60.0)
+    system.start()
+    system.create("/slo/data")
+    injector = system.attach_faults(plan if plan is not None
+                                    else slo_fault_plan())
+
+    def client():
+        while sim.now < horizon:
+            try:
+                yield system.write("/slo/data", 0, mib(1))
+                yield system.read("/slo/data", 0, mib(1))
+            except FAULT_EXCEPTIONS:
+                pass  # the ops_failed series carries the error budget
+            yield sim.timeout(minutes(2))
+
+    sim.process(client())
+    sim.run(until=horizon)
+    return system, injector, obs
 
 
 def _crash_campaign(seed: int, targets: list[str]) -> FaultPlan:
@@ -289,6 +370,53 @@ def test_e12d_empty_plan_is_fault_free(benchmark):
     assert io_failed == 0 and io_ok > 0
 
 
+def test_e12f_slo_campaign_fires_deterministic_alerts(benchmark):
+    """Burn-rate alerting end to end: the seeded campaign fires the same
+    alerts — names, severities, simulated fire times — on every run, and
+    every fault in the plan shows up in the alert stream."""
+    _system, _injector, obs = run_one(benchmark, slo_campaign)
+    fingerprint = obs.slo.alert_log()
+
+    rows = [[slo, sev, round(fired / 3600.0, 2)]
+            for slo, sev, fired in fingerprint]
+    print_experiment(
+        "E12f (SLO burn-rate alerting)",
+        "12-h campaign: 2 crashes + slow node; multi-window burn alerts",
+        format_table(["objective", "severity", "fired at (h)"], rows))
+
+    # Rerun from scratch: simulated-time alerting is exactly replayable.
+    _s2, _i2, obs2 = slo_campaign()
+    assert obs2.slo.alert_log() == fingerprint
+
+    by_slo = {}
+    for slo, sev, _t in fingerprint:
+        by_slo.setdefault(slo, set()).add(sev)
+    # Both crashes violate the blades-up level hard enough to page, and
+    # the long TICKET window confirms at its slower factor too.
+    assert by_slo.get("blades-up") == {"page", "ticket"}
+    # The severity-4 slow node inflates interval p99 past the bound.
+    assert "page" in by_slo.get("client-latency", set())
+    # Every alert eventually resolved: faults were bounded and repaired.
+    assert not obs.slo.active_alerts()
+    # Fire times land on the 60 s evaluator grid, in order.
+    times = [t for _s, _sev, t in fingerprint]
+    assert times == sorted(times)
+    assert all(t % 60.0 == 0.0 for t in times)
+
+
+def test_e12g_slo_quiet_without_faults(benchmark):
+    """The control: an empty plan burns no error budget — zero alerts,
+    every objective's probe healthy."""
+    _system, _injector, obs = run_one(
+        benchmark, lambda: slo_campaign(plan=FaultPlan(),
+                                        horizon=hours(8)))
+    assert obs.slo.alert_log() == []
+    assert not obs.slo.active_alerts()
+    for slo in obs.slo.slos():
+        health = obs.slo.health_probe(slo.name)
+        assert health.state.value == "up"
+
+
 def test_e12b_rolling_upgrade_zero_downtime(benchmark):
     def run():
         sim = Simulator()
@@ -344,6 +472,33 @@ def _smoke(quick: bool) -> int:
     return 1 if problems else 0
 
 
+def _slo_smoke() -> int:
+    """Standalone (no pytest) burn-rate alerting gate for CI: the seeded
+    campaign must fire page+ticket alerts, replay identically, and a
+    fault-free control must stay silent."""
+    _system, _injector, obs = slo_campaign()
+    fingerprint = obs.slo.alert_log()
+    print(format_table(
+        ["objective", "severity", "fired at (h)"],
+        [[slo, sev, round(t / 3600.0, 2)] for slo, sev, t in fingerprint]))
+    problems = []
+    severities = {sev for _slo, sev, _t in fingerprint}
+    if "page" not in severities or "ticket" not in severities:
+        problems.append("campaign did not fire both page and ticket alerts")
+    if obs.slo.active_alerts():
+        problems.append("alerts left active after every fault was repaired")
+    _s2, _i2, obs2 = slo_campaign()
+    if obs2.slo.alert_log() != fingerprint:
+        problems.append("alert log differs between identical seeded runs")
+    _s3, _i3, obs3 = slo_campaign(plan=FaultPlan(), horizon=hours(8))
+    if obs3.slo.alert_log():
+        problems.append("fault-free control fired alerts")
+    for line in problems:
+        print(f"FAIL: {line}")
+    print("slo-smoke:", "FAIL" if problems else "OK")
+    return 1 if problems else 0
+
+
 def _integrity_smoke() -> int:
     """Standalone (no pytest) integrity gate for the CI faults-smoke job:
     every injected corruption must be detected and repaired while all
@@ -386,7 +541,13 @@ if __name__ == "__main__":
     parser.add_argument("--integrity-smoke", action="store_true",
                         help="corruption campaign: assert every injected "
                              "fault is detected and repaired")
+    parser.add_argument("--slo-smoke", action="store_true",
+                        help="burn-rate alerting campaign: assert alerts "
+                             "fire, replay identically, and a fault-free "
+                             "control stays silent")
     args = parser.parse_args()
     if args.integrity_smoke:
         sys.exit(_integrity_smoke())
+    if args.slo_smoke:
+        sys.exit(_slo_smoke())
     sys.exit(_smoke(args.quick))

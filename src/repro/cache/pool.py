@@ -378,9 +378,16 @@ class CacheCluster:
         cache.insert(key, BlockState.SHARED, priority, self.sim.now)
         done.succeed("disk")
 
+    def _latency_series(self, obs: "Observability", op: str, blade_id: int,
+                        tier: str):
+        """Per-blade/tier latency series (labels follow the SLO layer)."""
+        return obs.series.series(f"cache.{op}_latency_s", blade=blade_id,
+                                 tier=tier)
+
     def _read(self, blade_id: int, key: BlockKey, priority: int, done: Event,
               parent=None):
         obs = self._obs() if self.sim.obs is not None else None
+        t0 = self.sim.now
         span = (obs.tracer.span("cache.read", parent=parent, blade=blade_id)
                 if obs is not None else NULL_SPAN)
         with span:
@@ -397,6 +404,9 @@ class CacheCluster:
                 self._ctr_local_hit.incr()
                 span.annotate(tier="local")
                 yield self.sim.timeout(self._hit_time())
+                if obs is not None:
+                    self._latency_series(obs, "read", blade_id,
+                                         "local").record(self.sim.now - t0)
                 done.succeed("local")
                 return
             actions = self.directory.acquire_shared(blade_id, key)
@@ -427,6 +437,10 @@ class CacheCluster:
                             yield self.interconnect.transfer(self.block_size)
                     cache.insert(key, BlockState.SHARED, priority,
                                  self.sim.now)
+                    if obs is not None:
+                        self._latency_series(obs, "read", blade_id,
+                                             "remote").record(
+                                                 self.sim.now - t0)
                     done.succeed("remote")
                     return
             self._ctr_miss.incr()
@@ -449,6 +463,10 @@ class CacheCluster:
                     if repaired:
                         cache.insert(key, BlockState.SHARED, priority,
                                      self.sim.now)
+                        if obs is not None:
+                            self._latency_series(obs, "read", blade_id,
+                                                 "disk").record(
+                                                     self.sim.now - t0)
                         done.succeed("disk")
                         return
                 self.metrics.counter("read.backing_errors").incr()
@@ -458,6 +476,9 @@ class CacheCluster:
                 done.fail(exc)
                 return
             cache.insert(key, BlockState.SHARED, priority, self.sim.now)
+            if obs is not None:
+                self._latency_series(obs, "read", blade_id, "disk").record(
+                    self.sim.now - t0)
             done.succeed("disk")
 
     # -- write path ------------------------------------------------------------------
@@ -484,6 +505,7 @@ class CacheCluster:
             done.fail(ValueError("replicas must be >= 1"))
             return
         obs = self._obs() if self.sim.obs is not None else None
+        t0 = self.sim.now
         span = (obs.tracer.span("cache.write", parent=parent,
                                 blade=blade_id, replicas=n)
                 if obs is not None else NULL_SPAN)
@@ -526,6 +548,9 @@ class CacheCluster:
                 self.metrics.counter("write.replicas_placed").incr(len(targets))
             self._enqueue_dirty(key)
             self.metrics.counter("write.absorbed").incr()
+            if obs is not None:
+                self._latency_series(obs, "write", blade_id,
+                                     "cached").record(self.sim.now - t0)
             done.succeed("cached")
 
     # -- destage ---------------------------------------------------------------------
@@ -602,6 +627,8 @@ class CacheCluster:
             if bid in self.caches:
                 self.caches[bid].clean(key)
         self.metrics.counter("destage.completed").incr()
+        if obs is not None:
+            obs.series.series("cache.destage_blocks").incr()
         done.succeed(True)
 
     def _enqueue_dirty(self, key: BlockKey) -> None:

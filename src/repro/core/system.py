@@ -435,6 +435,13 @@ class NetStorageSystem:
             # Repaired after a crash (a drain→up upgrade keeps its cache).
             self._failed_blades.discard(blade.blade_id)
             self.cache.on_blade_repair(blade.blade_id)
+        obs = self.sim.obs
+        if obs is not None:
+            # Level (carry-forward) series: a 6 h outage recorded only at
+            # its edges still reads as down for its whole duration, which
+            # is what the availability SLO evaluates.
+            obs.series.level("cluster.blades_down").record(
+                float(len(self._failed_blades)))
 
     # -- fault injection --------------------------------------------------------------------
 
@@ -482,12 +489,15 @@ class NetStorageSystem:
     def _client_io(self, path: str, offset: int, nbytes: int, op: str,
                    done: Event):
         obs = self.sim.obs
+        t0 = self.sim.now
         span = (obs.tracer.span(f"client.{op}", path=path, nbytes=nbytes)
                 if obs is not None else NULL_SPAN)
         with span:
             try:
                 inode = self.pfs.open(path)
             except Exception as exc:
+                if obs is not None:
+                    obs.series.series("client.ops_failed", op=op).incr()
                 done.fail(exc)
                 return
             policy = inode.policy
@@ -521,8 +531,14 @@ class NetStorageSystem:
             try:
                 yield self.sim.all_of(pending)
             except Exception as exc:
+                if obs is not None:
+                    obs.series.series("client.ops_failed", op=op).incr()
                 done.fail(exc)
                 return
+            if obs is not None:
+                obs.series.series("client.ops_ok", op=op).incr()
+                obs.series.series("client.latency_s", op=op).record(
+                    self.sim.now - t0)
             done.succeed(nbytes)
 
     # -- anonymous bulk I/O (geo staging / replication ingest) ---------------------------------

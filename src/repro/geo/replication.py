@@ -263,6 +263,9 @@ class GeoReplicator:
                 done.fail(exc)
                 return
             self.metrics.rate("wan.replication_bytes").record(nbytes)
+            if obs is not None:
+                obs.series.series("geo.wan_bytes",
+                                  site=target.name).record(float(nbytes))
             done.succeed()
 
         self.sim.process(run(), name=f"geo.repl.{target.name}")
@@ -279,6 +282,8 @@ class GeoReplicator:
         if obs is None:
             return
         backlog = self.backlog_to(target_name)
+        obs.series.level("geo.backlog_bytes",
+                         site=target_name).record(float(backlog))
         if backlog > self.backlog_warn_bytes and \
                 target_name not in self._lag_alerted:
             self._lag_alerted.add(target_name)
@@ -352,6 +357,9 @@ class GeoReplicator:
             self._note_site_up(target.name)
             self.async_backlog[item] -= chunk
             self.metrics.rate("wan.replication_bytes").record(chunk)
+            if self.sim.obs is not None:
+                self.sim.obs.series.series(
+                    "geo.wan_bytes", site=target_name).record(float(chunk))
             self._check_lag(target_name)
             if self.async_backlog[item] <= 0:
                 gf.copies.add(target_name)

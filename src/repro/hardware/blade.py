@@ -90,24 +90,30 @@ class ControllerBlade:
     def fail(self) -> None:
         """Hard failure: blade drops out; its cache contents are lost."""
         self.state = BladeState.FAILED
-        if self.sim.obs is not None:
-            self.sim.obs.log.error(self.name, "blade_failed",
-                                   ios_processed=self.ios_processed)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.log.error(self.name, "blade_failed",
+                          ios_processed=self.ios_processed)
+            obs.series.level("blade.up", blade=self.name).record(0.0)
         self._notify()
 
     def repair(self) -> None:
         """Blade replaced/rebooted; rejoins with a cold cache."""
         self.state = BladeState.UP
-        if self.sim.obs is not None:
-            self.sim.obs.log.info(self.name, "blade_repaired")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.log.info(self.name, "blade_repaired")
+            obs.series.level("blade.up", blade=self.name).record(1.0)
         self._notify()
 
     def drain(self) -> None:
         """Begin rolling-upgrade drain: no new work accepted."""
         if self.state is BladeState.UP:
             self.state = BladeState.DRAINING
-            if self.sim.obs is not None:
-                self.sim.obs.log.warning(self.name, "blade_draining")
+            obs = self.sim.obs
+            if obs is not None:
+                obs.log.warning(self.name, "blade_draining")
+                obs.series.level("blade.up", blade=self.name).record(0.0)
             self._notify()
 
     def set_slow(self, factor: float) -> None:
@@ -115,14 +121,21 @@ class ControllerBlade:
         if factor < 1.0:
             raise ValueError(f"slow factor must be >= 1.0, got {factor}")
         self.slow_factor = factor
-        if factor > 1.0 and self.sim.obs is not None:
-            self.sim.obs.log.warning(self.name, "blade_slow", factor=factor)
+        obs = self.sim.obs
+        if obs is not None:
+            if factor > 1.0:
+                obs.log.warning(self.name, "blade_slow", factor=factor)
+            obs.series.level("blade.slow_factor",
+                             blade=self.name).record(factor)
 
     def clear_slow(self) -> None:
         """Restore nominal firmware latency after a slow-node fault."""
         self.slow_factor = 1.0
-        if self.sim.obs is not None:
-            self.sim.obs.log.info(self.name, "blade_slow_cleared")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.log.info(self.name, "blade_slow_cleared")
+            obs.series.level("blade.slow_factor",
+                             blade=self.name).record(1.0)
 
     def health(self) -> ComponentHealth:
         """Management-plane snapshot of this blade."""

@@ -107,6 +107,11 @@ class ScrubDaemon:
                              passes=self.passes_completed,
                              chunks=self.chunks_scrubbed,
                              misses=self.misses_found)
+                # Level series: the scrub-lag SLO thresholds on the last
+                # pass duration, carried forward between completions.
+                obs.series.level("scrub.pass_duration_s").record(
+                    self.sim.now - self._pass_started)
+                obs.series.series("scrub.misses").incr(self.misses_found)
             if passes is None or self.passes_completed < passes:
                 yield self.sim.timeout(idle)
         self.running = False

@@ -10,6 +10,7 @@ line per record in the spirit of syslog on the management network.
 
 from __future__ import annotations
 
+import json
 from collections import Counter as _Counter
 from collections import deque
 from dataclasses import dataclass
@@ -53,6 +54,16 @@ class EventRecord:
             parts.append(self.message)
         parts.extend(f"{k}={v}" for k, v in self.attrs)
         return " ".join(parts)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form; non-JSON attr values are stringified."""
+        attrs = {}
+        for k, v in self.attrs:
+            attrs[k] = v if isinstance(v, (str, int, float, bool,
+                                           type(None))) else str(v)
+        return {"ts": self.ts, "severity": self.severity.name,
+                "component": self.component, "kind": self.kind,
+                "message": self.message, "attrs": attrs}
 
 
 class EventLog:
@@ -142,6 +153,20 @@ class EventLog:
         """The filtered log as greppable text, one line per record."""
         return "\n".join(r.render() for r in
                          self.records(min_severity, component, kind))
+
+    def to_jsonl(self, min_severity: Severity | None = None,
+                 component: str | None = None,
+                 kind: str | None = None) -> str:
+        """The filtered log as JSON Lines, one record per line.
+
+        The machine-ingestable counterpart of :meth:`render` — what a
+        log shipper would forward off the management network.  Output is
+        deterministic (sorted keys, fixed separators); an empty log
+        yields an empty string.
+        """
+        return "\n".join(
+            json.dumps(r.as_dict(), sort_keys=True, separators=(",", ":"))
+            for r in self.records(min_severity, component, kind))
 
     def __len__(self) -> int:
         return len(self._ring)

@@ -69,6 +69,7 @@ class ManagementPlane:
         self.sim = sim
         self.name = name
         self._probes: dict[str, HealthProbe] = {}
+        self._attachments: dict[str, Any] = {}
         self.polls = 0
 
     # -- registration ----------------------------------------------------------
@@ -76,6 +77,17 @@ class ManagementPlane:
     def register(self, component: str, probe: HealthProbe) -> None:
         """Attach a component's health probe (re-registering replaces)."""
         self._probes[component] = probe
+
+    def attach(self, name: str, exporter: Any) -> None:
+        """Attach a telemetry exporter rendered into every snapshot.
+
+        An exporter duck-types two methods: ``export_snapshot()`` (a
+        bounded JSON-able dict, included under ``attachments`` in
+        :meth:`to_json`) and ``to_prometheus(prefix)`` (text appended to
+        :meth:`to_prometheus`).  The series registry, SLO monitor, and
+        kernel profiler all qualify.
+        """
+        self._attachments[name] = exporter
 
     def unregister(self, component: str) -> None:
         self._probes.pop(component, None)
@@ -136,6 +148,10 @@ class ManagementPlane:
             "overall": self.overall(snapshot).value,
             "components": [h.as_dict() for h in snapshot.values()],
         }
+        if self._attachments:
+            doc["attachments"] = {
+                name: self._attachments[name].export_snapshot()
+                for name in sorted(self._attachments)}
         return json.dumps(doc, sort_keys=True,
                           separators=(",", ":") if indent is None else None,
                           indent=indent)
@@ -161,7 +177,10 @@ class ManagementPlane:
         for fam in sorted(families):
             lines.append(f"# TYPE {fam} gauge")
             lines.extend(families[fam])
-        return "\n".join(lines) + "\n"
+        text = "\n".join(lines) + "\n"
+        for name in sorted(self._attachments):
+            text += self._attachments[name].to_prometheus(prefix)
+        return text
 
 
 def _sanitize(name: str) -> str:

@@ -139,6 +139,12 @@ class TransportEndpoint:
                         # Digests off: the damage rides through unseen.
                         self.integrity.wire_event("wire_corrupt",
                                                   detected=False)
+            if obs is not None:
+                obs.series.series("xport.bytes",
+                                  protocol=self.profile.name).record(
+                                      float(nbytes))
+                obs.series.series("xport.ops",
+                                  protocol=self.profile.name).incr()
             done.succeed(nbytes)
 
         self.sim.process(run(), name=f"xport.{self.profile.name}")

@@ -34,6 +34,7 @@ from .process import Process, ProcessGen
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
+    from ..obs.profiler import KernelProfiler
 
 #: Upper bound on pooled Timeout objects kept for reuse; beyond this the
 #: kernel lets fired timeouts go to the garbage collector.
@@ -73,6 +74,10 @@ class Simulator:
         #: operation, so ``None`` (the default) disables the whole layer at
         #: the cost of one attribute test.  Attach via ``repro.obs.enable``.
         self.obs: "Observability | None" = None
+        #: Kernel self-profiler hook (see :mod:`repro.obs.profiler`).
+        #: ``None`` keeps the inlined drain loop untouched; attach via
+        #: :meth:`attach_profiler`.
+        self.profiler: "KernelProfiler | None" = None
 
     # -- scheduling (kernel internal) ----------------------------------------
 
@@ -142,6 +147,17 @@ class Simulator:
         """Race: succeeds when the first of ``events`` succeeds."""
         return AnyOf(self, list(events))
 
+    def attach_profiler(self, **kwargs) -> "KernelProfiler":
+        """Attach a fresh :class:`~repro.obs.profiler.KernelProfiler`.
+
+        Pure observation: counts, sampled wall attribution, and heap-depth
+        samples — never simulation semantics.  Detach with
+        ``sim.profiler = None``.
+        """
+        from ..obs.profiler import KernelProfiler  # local: import cycle
+        self.profiler = KernelProfiler(self, **kwargs)
+        return self.profiler
+
     # -- main loop -------------------------------------------------------------
 
     def step(self) -> None:
@@ -155,6 +171,8 @@ class Simulator:
         when, _seq, event, callback = heappop(q)
         self.now = when
         self.events_processed += 1
+        if self.profiler is not None:
+            self.profiler.observe(event, callback, len(q))
         if event is None:
             callback()  # deferred-call fast path
             return
@@ -218,8 +236,15 @@ class Simulator:
         The per-event interpreter overhead of the method call and repeated
         attribute loads is the single largest cost in timeout-heavy runs, so
         the unbounded loop keeps everything in locals and flushes the event
-        counter once at the end.
+        counter once at the end.  With a profiler attached the slower
+        :meth:`step` loop runs instead, keeping the fast path free of any
+        per-event profiling branch.
         """
+        if self.profiler is not None:
+            q = self._queue
+            while q:
+                self.step()
+            return
         q = self._queue
         pop = heappop
         free = self._free_timeouts

@@ -80,6 +80,11 @@ class FairShareLink:
         self.total_bytes = 0.0
         self.failed = False
         self.utilization = TimeWeighted(sim)
+        # Cached per-link byte series keyed to the obs bundle it belongs
+        # to, so the per-transfer cost with observability on is two loads
+        # and an identity check instead of a registry lookup.
+        self._series_obs = None
+        self._series = None
 
     # -- failure control -------------------------------------------------------
 
@@ -113,6 +118,12 @@ class FairShareLink:
         if nbytes == 0:
             self._deliver(done, self.latency)
             return done
+        obs = self.sim.obs
+        if obs is not None:
+            if obs is not self._series_obs:
+                self._series_obs = obs
+                self._series = obs.series.series("link.bytes", link=self.name)
+            self._series.record(nbytes)
         self._advance()
         heappush(self._flow_heap,
                  (self._virtual + nbytes, next(self._flow_seq),
@@ -215,6 +226,8 @@ class FcfsLink:
         self.total_bytes = 0.0
         self.failed = False
         self.utilization = TimeWeighted(sim)
+        self._series_obs = None
+        self._series = None
 
     def fail(self) -> None:
         """Flap the link down: new transfers fail with LinkDownError."""
@@ -236,6 +249,12 @@ class FcfsLink:
         if self.failed:
             done.fail(LinkDownError(f"link {self.name} is down"))
             return done
+        obs = self.sim.obs
+        if obs is not None and nbytes > 0:
+            if obs is not self._series_obs:
+                self._series_obs = obs
+                self._series = obs.series.series("link.bytes", link=self.name)
+            self._series.record(nbytes)
         self.sim.process(self._run(nbytes, done), name=f"{self.name}.xfer")
         return done
 

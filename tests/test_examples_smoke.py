@@ -58,9 +58,18 @@ def test_automated_operations():
     assert "0 human tickets" in out
 
 
+def test_telemetry_dashboard():
+    out = run_example("telemetry_dashboard.py")
+    assert "time series at t=300.000000s" in out
+    assert "kernel profile:" in out
+    assert '"kind":"slo.burn_rate"' in out
+    assert 'netstorage_slo_alerts_active{slo="blades-up"} 2' in out
+
+
 @pytest.mark.parametrize("name", [p.name for p in EXAMPLES.glob("*.py")])
 def test_every_example_has_a_smoke_test(name):
     covered = {"quickstart.py", "supercomputer_feed.py",
                "national_lab_grid.py", "multi_tenant_lab.py",
-               "disaster_recovery.py", "automated_operations.py"}
+               "disaster_recovery.py", "automated_operations.py",
+               "telemetry_dashboard.py"}
     assert name in covered, f"example {name} lacks a smoke test"

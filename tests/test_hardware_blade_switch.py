@@ -222,18 +222,30 @@ class TestFailureInjector:
         blade = ControllerBlade(sim, 0)
         inj = FailureInjector(sim)
         rng = RngStreams(1).fresh("failures")
-        inj.run_lifecycle(blade, rng, mtbf=10.0, mttr=1.0, horizon=200.0)
+        with pytest.warns(DeprecationWarning):
+            inj.run_lifecycle(blade, rng, mtbf=10.0, mttr=1.0, horizon=200.0)
         sim.run()
         kinds = [ev.kind for ev in inj.log]
         assert kinds[::2] == ["fail"] * len(kinds[::2])
         assert kinds[1::2] == ["repair"] * len(kinds[1::2])
         assert inj.failures_injected() >= 5
 
+    def test_lifecycle_deprecation_names_the_replacement(self):
+        # The warning must point migrators at the FaultPlan/FaultInjector
+        # path, not just say "deprecated".
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        rng = RngStreams(1).fresh("failures")
+        with pytest.warns(DeprecationWarning, match=r"FaultPlan\.random"):
+            inj.run_lifecycle(ControllerBlade(sim, 0), rng,
+                              mtbf=10.0, mttr=1.0, horizon=1.0)
+        sim.run()
+
     def test_lifecycle_rejects_bad_params(self):
         sim = Simulator()
         inj = FailureInjector(sim)
         rng = RngStreams(1).fresh("x")
-        with pytest.raises(ValueError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
             inj.run_lifecycle(ControllerBlade(sim, 0), rng, mtbf=0, mttr=1)
 
     def test_callbacks_invoked(self):

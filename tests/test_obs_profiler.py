@@ -1,0 +1,149 @@
+"""Unit tests for the kernel self-profiler (repro.obs.profiler)."""
+
+import json
+
+import pytest
+
+from repro.obs import KernelProfiler
+from repro.sim import Simulator
+
+
+def run_workload(sim):
+    """A small deterministic mix: processes, timeouts, deferred calls."""
+    def worker():
+        for _ in range(5):
+            yield sim.timeout(1.0)
+
+    for _ in range(3):
+        sim.process(worker(), name="worker")
+    sim.call_in(2.0, lambda: None)
+    sim.run()
+
+
+class TestAttachment:
+    def test_attach_returns_and_installs(self):
+        sim = Simulator()
+        prof = sim.attach_profiler()
+        assert sim.profiler is prof
+        assert isinstance(prof, KernelProfiler)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            KernelProfiler(sim, sample_every=0)
+        with pytest.raises(ValueError):
+            KernelProfiler(sim, depth_every=0)
+
+    def test_profiler_does_not_change_simulation_results(self):
+        def run(with_profiler):
+            sim = Simulator()
+            if with_profiler:
+                sim.attach_profiler()
+            done = []
+
+            def worker(i):
+                yield sim.timeout(float(i))
+                done.append((i, sim.now))
+
+            for i in range(4):
+                sim.process(worker(i))
+            sim.run()
+            return done, sim.now, sim.events_processed
+
+        assert run(False) == run(True)
+
+
+class TestCounts:
+    def test_counts_are_exact_and_deterministic(self):
+        def run():
+            sim = Simulator()
+            prof = sim.attach_profiler()
+            run_workload(sim)
+            return prof
+
+        a, b = run(), run()
+        assert a.events_seen == b.events_seen > 0
+        assert a.event_counts == b.event_counts
+        assert a.callback_counts == b.callback_counts
+        # The workload's shape is visible by category.
+        assert a.event_counts["process:worker"] == 3   # process starts
+        assert a.event_counts["Timeout"] == 15         # 3 workers x 5
+        assert sum(1 for c in a.event_counts if c.startswith("call:")) == 1
+        # Timeout wakeups resume the named worker processes.
+        assert a.callback_counts["process:worker"] == 15
+
+    def test_events_seen_matches_kernel_counter(self):
+        sim = Simulator()
+        prof = sim.attach_profiler()
+        run_workload(sim)
+        assert prof.events_seen == sim.events_processed
+
+
+class TestSamplingAndDepth:
+    def test_wall_sampling_respects_stride(self):
+        sim = Simulator()
+        prof = sim.attach_profiler(sample_every=4)
+        run_workload(sim)
+        assert prof.wall_samples == prof.events_seen // 4
+        assert sum(prof.wall_s.values()) >= 0.0
+
+    def test_depth_samples_bounded_and_stamped(self):
+        sim = Simulator()
+        prof = sim.attach_profiler(depth_every=2, depth_capacity=4)
+        run_workload(sim)
+        assert len(prof.depth_samples) == 4            # ring clipped
+        for sim_t, nth, depth in prof.depth_samples:
+            assert nth % 2 == 0
+            assert depth >= 0
+        stats = prof.depth_stats()
+        assert stats["samples"] == 4.0
+        assert stats["max"] >= stats["min"] >= 0.0
+
+    def test_depth_stats_empty(self):
+        sim = Simulator()
+        prof = KernelProfiler(sim)
+        assert prof.depth_stats() == {"samples": 0.0}
+
+
+class TestReporting:
+    def test_top_ranks_by_count_with_stable_ties(self):
+        sim = Simulator()
+        prof = sim.attach_profiler()
+        run_workload(sim)
+        top = prof.top(3, by="count")
+        counts = [n for _c, n, _w in top]
+        assert counts == sorted(counts, reverse=True)
+        assert top[0][0] == "Timeout"
+
+    def test_report_is_json_able_and_complete(self):
+        sim = Simulator()
+        prof = sim.attach_profiler()
+        run_workload(sim)
+        rep = json.loads(prof.to_json(top_n=5))
+        assert rep["events_seen"] == prof.events_seen
+        assert rep["sim_time_s"] == sim.now
+        assert rep["categories"] == len(prof.event_counts)
+        assert rep["top_by_count"][0]["category"] == "Timeout"
+        assert {r["category"] for r in rep["top_by_wall"]} <= (
+            set(prof.event_counts) | set(prof.wall_s))
+        assert "process:worker" in rep["callback_targets"]
+        assert rep["queue_depth"]["samples"] >= 0.0
+
+    def test_export_snapshot_is_bounded(self):
+        sim = Simulator()
+        prof = sim.attach_profiler()
+        run_workload(sim)
+        snap = prof.export_snapshot()
+        assert "callback_targets" not in snap
+        assert len(snap["top_by_count"]) <= 5
+
+    def test_prometheus_and_table(self):
+        sim = Simulator()
+        prof = sim.attach_profiler()
+        run_workload(sim)
+        prom = prof.to_prometheus()
+        assert 'netstorage_kernel_dispatches{category="Timeout"} 15' in prom
+        assert "netstorage_kernel_queue_depth" in prom
+        table = prof.format_report()
+        assert "kernel profile" in table
+        assert "Timeout" in table

@@ -1,0 +1,220 @@
+"""Unit tests for labeled time-series metrics (repro.obs.timeseries)."""
+
+import json
+
+import pytest
+
+from repro.obs import Series, SeriesRegistry, Window
+from repro.sim import Simulator
+
+
+def make_series(interval=1.0, capacity=8, kind="sample"):
+    sim = Simulator()
+    s = Series(sim, "m", (), interval, capacity, kind=kind)
+    return sim, s
+
+
+class TestWindow:
+    def test_stats_and_avg(self):
+        w = Window(10.0, 4, 8.0, 1.0, 3.0, 3.0)
+        assert w.avg == 2.0
+        assert w.stat("sum") == 8.0
+        assert w.stat("avg") == 2.0
+        assert w.stat("min") == 1.0
+        assert w.stat("max") == 3.0
+        assert w.stat("p99") == 3.0
+        assert w.stat("count") == 4.0
+
+    def test_empty_window_avg_is_zero(self):
+        assert Window(0.0, 0, 0.0, 0.0, 0.0, 0.0).avg == 0.0
+
+    def test_as_dict_round_trips_through_json(self):
+        w = Window(5.0, 2, 3.0, 1.0, 2.0, 2.0)
+        assert json.loads(json.dumps(w.as_dict()))["count"] == 2.0
+
+
+class TestSeries:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Series(sim, "m", (), 0.0, 8)
+        with pytest.raises(ValueError):
+            Series(sim, "m", (), 1.0, 0)
+        with pytest.raises(ValueError):
+            Series(sim, "m", (), 1.0, 8, kind="gauge")
+
+    def test_bucket_roll_closes_window(self):
+        sim, s = make_series()
+        s.record(1.0)
+        s.record(3.0)
+        sim.now = 1.5          # next bucket: first record closes the old one
+        s.record(9.0)
+        ws = s.windows()
+        assert len(ws) == 2
+        assert ws[0].start == 0.0
+        assert ws[0].count == 2
+        assert ws[0].total == 4.0
+        assert ws[0].min == 1.0 and ws[0].max == 3.0
+        assert ws[1].start == 1.0 and ws[1].count == 1
+
+    def test_p99_is_nearest_rank_not_interpolated(self):
+        sim, s = make_series()
+        for v in range(1, 101):  # 1..100 in one bucket
+            s.record(float(v))
+        (w,) = s.windows()
+        assert w.p99 == 99.0     # ceil(0.99*100) = 99th order statistic
+        # A single sample is its own p99.
+        sim.now = 5.0
+        s.record(42.0)
+        assert s.windows()[-1].p99 == 42.0
+
+    def test_incr_counter_semantics(self):
+        sim, s = make_series()
+        s.incr()
+        s.incr(4.0)
+        (w,) = s.windows()
+        assert w.total == 5.0 and w.count == 2
+        assert s.total_sum == 5.0
+
+    def test_last_and_totals_survive_ring_eviction(self):
+        sim, s = make_series(capacity=2)
+        for i in range(5):
+            sim.now = float(i)
+            s.record(float(i))
+        assert len(s.windows()) == 2          # ring kept the newest two
+        assert s.windows_dropped == 3
+        assert s.last == 4.0
+        assert s.total_count == 5              # whole-run totals unaffected
+
+    def test_window_at_and_ranges(self):
+        sim, s = make_series()
+        for t, v in ((0.5, 1.0), (2.5, 2.0), (3.5, 4.0)):
+            sim.now = t
+            s.record(v)
+        sim.now = 10.0
+        assert s.window_at(2.9).total == 2.0
+        assert s.window_at(1.5) is None        # empty slot never existed
+        assert [w.start for w in s.range_windows(2.0, 4.0)] == [2.0, 3.0]
+        assert s.range_sum(0.0, 4.0) == 7.0
+        assert s.range_count(2.0, 10.0) == 2
+
+    def test_slot_stats_sample_skips_empty_slots(self):
+        sim, s = make_series()
+        sim.now = 0.0
+        s.record(1.0)
+        sim.now = 3.0
+        s.record(5.0)
+        sim.now = 4.0
+        assert list(s.slot_stats(0.0, 4.0, "max")) == [1.0, 5.0]
+
+    def test_slot_stats_level_carries_forward(self):
+        sim, s = make_series(kind="level")
+        sim.now = 1.0
+        s.record(2.0)          # level rises at t=1 and is never re-recorded
+        sim.now = 6.0
+        s.record(0.0)
+        sim.now = 8.0
+        # Slots 1..5 carry the 2.0 level; slot 0 precedes any observation.
+        assert list(s.slot_stats(0.0, 8.0, "max")) == [
+            2.0, 2.0, 2.0, 2.0, 2.0, 0.0, 0.0]
+
+    def test_slot_stats_level_uses_value_prior_to_range(self):
+        # A 6-hour outage recorded only at its edges must read as "down"
+        # in a window that starts mid-outage.
+        sim, s = make_series(kind="level")
+        sim.now = 0.0
+        s.record(1.0)
+        sim.now = 10.0
+        s.record(1.0)          # close the first bucket into the ring
+        sim.now = 12.0
+        assert list(s.slot_stats(4.0, 8.0, "max")) == [1.0] * 4
+
+    def test_label_str_formats_and_sorts(self):
+        sim = Simulator()
+        s = Series(sim, "m", (("blade", 3), ("site", "dr")), 1.0, 8)
+        assert s.label_str() == '{blade="3",site="dr"}'
+        assert Series(sim, "m", (), 1.0, 8).label_str() == ""
+
+    def test_summary_aggregates_over_retention(self):
+        sim, s = make_series()
+        sim.now = 0.0
+        s.record(2.0)
+        sim.now = 1.0
+        s.record(6.0)
+        summ = s.summary()
+        assert summ["count"] == 2.0
+        assert summ["sum"] == 8.0
+        assert summ["max"] == 6.0
+        assert summ["avg"] == 4.0
+        assert summ["last"] == 6.0
+
+
+class TestSeriesRegistry:
+    def test_label_order_is_identity_insensitive(self):
+        reg = SeriesRegistry(Simulator())
+        a = reg.series("x", site="a", blade=1)
+        b = reg.series("x", blade=1, site="a")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_get_does_not_create(self):
+        reg = SeriesRegistry(Simulator())
+        assert reg.get("x") is None
+        reg.series("x")
+        assert reg.get("x") is not None
+        assert len(reg) == 1
+
+    def test_match_is_subset_match(self):
+        reg = SeriesRegistry(Simulator())
+        reg.series("lat", blade=0, op="read").record(1.0)
+        reg.series("lat", blade=1, op="read").record(2.0)
+        reg.series("lat", blade=1, op="write").record(3.0)
+        reg.series("other", blade=1).record(4.0)
+        assert len(reg.match("lat")) == 3
+        assert len(reg.match("lat", op="read")) == 2
+        assert len(reg.match("lat", blade=1, op="write")) == 1
+        assert reg.match("lat", tenant="hpc") == []
+
+    def test_snapshot_keys_carry_labels(self):
+        reg = SeriesRegistry(Simulator())
+        reg.series("ops", tenant="hpc").incr(3.0)
+        snap = reg.snapshot()
+        assert snap['ops{tenant="hpc"}.sum'] == 3.0
+        assert snap['ops{tenant="hpc"}.count'] == 1.0
+        assert reg.export_snapshot() == snap
+
+    def test_to_json_is_deterministic(self):
+        def build():
+            reg = SeriesRegistry(Simulator())
+            reg.series("b").record(1.0)
+            reg.series("a", k="v").record(2.0)
+            return reg.to_json()
+        assert build() == build()
+
+    def test_prometheus_exposition(self):
+        reg = SeriesRegistry(Simulator())
+        reg.series("cache.read_latency_s", blade=2).record(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE netstorage_cache_read_latency_s gauge" in text
+        assert ('netstorage_cache_read_latency_s_total{blade="2"} 0.5'
+                in text)
+        assert text.endswith("\n")
+        # Metric names are sanitized, never empty.
+        reg2 = SeriesRegistry(Simulator())
+        reg2.series("9bad-name!").record(1.0)
+        assert "netstorage_bad_name_" in reg2.to_prometheus()
+
+    def test_format_table_clips_and_titles(self):
+        reg = SeriesRegistry(Simulator())
+        for i in range(5):
+            reg.series("m", i=i).record(float(i))
+        table = reg.format_table(max_rows=3)
+        assert "5 series" in table
+        assert "2 not shown" in table
+
+    def test_registry_never_schedules_events(self):
+        sim = Simulator()
+        reg = SeriesRegistry(sim)
+        reg.series("x").record(1.0)
+        reg.level("y").record(2.0)
+        assert not sim._queue

@@ -206,6 +206,76 @@ def test_snapshot_includes_spread_and_percentiles():
     assert snap2["unused.count"] == 0
 
 
+class TestMetricSetEdgeCases:
+    """Histogram/snapshot boundary behavior the reports depend on."""
+
+    def test_empty_set_snapshot_is_empty(self):
+        sim = Simulator()
+        m = MetricSet(sim)
+        assert m.snapshot() == {}
+
+    def test_empty_histogram_bins_all_zero(self):
+        sim = Simulator()
+        m = MetricSet(sim)
+        m.histogram("lat", edges=[0.001, 0.1])
+        snap = m.snapshot()
+        assert snap["lat.bin<0.001"] == 0.0
+        assert snap["lat.bin[0.001,0.1)"] == 0.0
+        assert snap["lat.bin>=0.1"] == 0.0
+
+    def test_value_on_edge_falls_in_upper_bin(self):
+        # searchsorted side="right": an observation exactly equal to an
+        # edge belongs to the half-open interval that starts there.
+        h = Histogram([1.0, 10.0])
+        h.record(1.0)
+        h.record(10.0)
+        d = h.as_dict()
+        assert d["<1"] == 0
+        assert d["[1,10)"] == 1
+        assert d[">=10"] == 1
+
+    def test_single_sample_tally_snapshot(self):
+        # One observation: percentiles collapse onto the sample, std is 0
+        # (ddof=1 with n=1 would divide by zero; the Tally reports 0).
+        sim = Simulator()
+        m = MetricSet(sim)
+        m.tally("lat").record(0.25)
+        snap = m.snapshot()
+        assert snap["lat.mean"] == 0.25
+        assert snap["lat.count"] == 1
+        assert snap["lat.min"] == snap["lat.max"] == 0.25
+        assert snap["lat.std"] == 0.0
+        assert snap["lat.p50"] == snap["lat.p95"] == snap["lat.p99"] == 0.25
+
+    def test_two_sample_quantile_interpolation(self):
+        # numpy's default linear interpolation between the two order
+        # statistics: p50 of {0, 1} is the midpoint, p99 sits 99 % of the
+        # way up — the window-boundary behavior the latency reports show.
+        sim = Simulator()
+        m = MetricSet(sim)
+        t = m.tally("lat")
+        t.record(0.0)
+        t.record(1.0)
+        snap = m.snapshot()
+        assert snap["lat.p50"] == pytest.approx(0.5)
+        assert snap["lat.p95"] == pytest.approx(0.95)
+        assert snap["lat.p99"] == pytest.approx(0.99)
+
+    def test_extreme_quantiles_clamp_to_samples(self):
+        t = Tally()
+        for v in (3.0, 1.0, 2.0):
+            t.record(v)
+        assert t.percentile(0.0) == 1.0
+        assert t.percentile(100.0) == 3.0
+
+    def test_identical_samples_have_flat_quantiles(self):
+        t = Tally()
+        for _ in range(10):
+            t.record(7.0)
+        assert t.percentiles([50.0, 95.0, 99.0]) == [7.0, 7.0, 7.0]
+        assert t.std() == 0.0
+
+
 class TestUnits:
     def test_sizes(self):
         assert units.kib(1) == 1024
