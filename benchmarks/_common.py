@@ -2,87 +2,47 @@
 
 Each bench_eNN module reproduces one claim from the paper (see DESIGN.md's
 experiment index).  These helpers keep workload scale consistent across
-benches: era-appropriate controller costs, a farm feed model, and closed-
-loop client fleets.
+benches by delegating to the :mod:`repro.plan` planner: the era-appropriate
+controller costs and farm feed live in :class:`~repro.plan.spec.
+CacheBenchSpec`'s defaults, and every cache-bench topology here is a
+compiled :class:`~repro.plan.planner.CacheBenchPlan` build.
 """
 
 from __future__ import annotations
 
 from repro.cache import CacheCluster
 from repro.hardware import ControllerBlade
-from repro.sim import FairShareLink, Simulator
-from repro.sim.units import gbps, mib, us
+from repro.plan import AggregateFarm, CacheBenchSpec, plan_cache_bench
+from repro.plan.scenario import make_bench_blades
+from repro.sim import Simulator
+from repro.sim.units import mib, us
 
 #: One controller core moves ~200 MB/s through firmware (checksums, cache
 #: management) — the per-controller ceiling that makes blade count matter.
-CPU_PER_BYTE = 1.0 / 200e6
-CPU_PER_IO = us(50)
-BLOCK = 64 * 1024
+#: (These are the CacheBenchSpec defaults, re-exported for benches that
+#: build bespoke topologies.)
+CPU_PER_BYTE = CacheBenchSpec().cpu_per_byte
+CPU_PER_IO = CacheBenchSpec().cpu_per_io
+BLOCK = CacheBenchSpec().block_size
+
+#: Back-compat alias: FarmFeed grew up here and moved into the planner.
+FarmFeed = AggregateFarm
 
 
 def make_blades(sim: Simulator, count: int, cache_bytes: int = mib(16),
                 cores: int = 2) -> list[ControllerBlade]:
-    return [ControllerBlade(sim, i, cache_bytes=cache_bytes,
-                            cpu_cores=cores, cpu_per_io=CPU_PER_IO,
-                            cpu_per_byte=CPU_PER_BYTE)
-            for i in range(count)]
-
-
-class FarmFeed:
-    """A shared disk-farm model: finite aggregate bandwidth + access latency.
-
-    Used as the cache cluster's backing store when per-spindle detail
-    isn't the point of the experiment (E2, E3): the farm delivers at most
-    ``bandwidth`` bytes/s in aggregate, with ``latency`` positioning cost
-    per access.
-    """
-
-    READ_NAME = "farm.read"
-    WRITE_NAME = "farm.write"
-
-    def __init__(self, sim: Simulator, bandwidth: float = 1.2e9,
-                 latency: float = 0.008) -> None:
-        self.sim = sim
-        self.link = FairShareLink(sim, bandwidth, name="farmfeed")
-        self.latency = latency
-
-    def read(self, key, nbytes):
-        return self._access(nbytes, self.READ_NAME)
-
-    def write(self, key, nbytes):
-        # Distinct from read so traces and event logs can tell farm read
-        # traffic from write-back/destage traffic.
-        return self._access(nbytes, self.WRITE_NAME)
-
-    def _access(self, nbytes, name):
-        sim = self.sim
-        done = sim.event()
-        if sim.obs is not None:
-            # Named process so the operation is attributable in event logs.
-            sim.process(self._run(nbytes, done), name=name)
-        else:
-            # Deferred-call fast path: same simulated timing (positioning
-            # latency, then the shared-link transfer), no generator Process.
-            sim.call_in(self.latency,
-                        lambda: self.link.transfer(nbytes).add_callback(
-                            lambda _ev: done.succeed(nbytes)))
-        return done
-
-    def _run(self, nbytes, done):
-        yield self.sim.timeout(self.latency)
-        yield self.link.transfer(nbytes)
-        done.succeed(nbytes)
+    spec = CacheBenchSpec(blade_count=count, cache_bytes=cache_bytes,
+                          cpu_cores=cores, replication=1)
+    return make_bench_blades(sim, plan_cache_bench(spec))
 
 
 def make_cache_cluster(sim: Simulator, blade_count: int,
                        replication: int = 2,
                        cache_bytes: int = mib(16),
-                       farm: FarmFeed | None = None) -> CacheCluster:
-    blades = make_blades(sim, blade_count, cache_bytes=cache_bytes)
-    farm = farm or FarmFeed(sim)
-    return CacheCluster(sim, blades, farm.read, farm.write,
-                        block_size=BLOCK, replication=replication,
-                        interconnect_bandwidth=gbps(4) * blade_count)
+                       farm: AggregateFarm | None = None) -> CacheCluster:
+    spec = CacheBenchSpec(blade_count=blade_count, replication=replication,
+                          cache_bytes=cache_bytes)
+    return plan_cache_bench(spec).build(sim, farm=farm).cluster
 
 
 def run_one(benchmark, fn):

@@ -16,6 +16,7 @@ from repro.baseline import IslandFarm, StorageIsland
 from repro.cluster import ClusterMembership, LoadBalancer
 from repro.core import format_latency_breakdown, format_table, print_experiment
 from repro.obs import enable as enable_obs
+from repro.plan import CacheBenchSpec, plan_cache_bench
 from repro.sim import Simulator
 from repro.sim.units import mib
 from repro.workloads import aggregate_throughput, run_client_fleet
@@ -27,8 +28,9 @@ CONTROLLER_COUNTS = (1, 2, 4, 8)
 
 def netstorage_run(blade_count: int) -> float:
     sim = Simulator()
-    cluster = make_cache_cluster(sim, blade_count, replication=1,
-                                 farm=FarmFeed(sim, bandwidth=1.2e9))
+    # Declarative topology: spec -> plan -> built blades + farm + cache.
+    spec = CacheBenchSpec(blade_count=blade_count, replication=1)
+    cluster = plan_cache_bench(spec).build(sim).cluster
     membership = ClusterMembership(sim, list(cluster.blades.values()))
     balancer = LoadBalancer(membership)
 

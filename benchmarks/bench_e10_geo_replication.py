@@ -16,7 +16,7 @@ from _common import run_one
 from repro.baseline import MirrorSplitReplicator
 from repro.core import format_table, print_experiment
 from repro.fs import FilePolicy, ReplicationMode
-from repro.geo import GeoReplicator, Site, WanNetwork
+from repro.plan import LinkSpec, ScenarioSpec, SiteSpec, WorkloadSpec, plan_storage
 from repro.sim import Simulator
 from repro.sim.units import gb, gbps, mib
 
@@ -25,18 +25,24 @@ WRITE = mib(1)
 
 
 def pair(sim, distance_km):
-    net = WanNetwork(sim)
-    a = net.add_site(Site(sim, "primary", (0.0, 0.0)))
-    b = net.add_site(Site(sim, "remote", (0.0, float(distance_km))))
-    net.connect(a, b, bandwidth=gbps(2.5))
-    return net, a, b
+    """A planner-built two-site WAN (aggregate storage): the declared
+    topology replaces the old hand-wired WanNetwork/Site/connect dance."""
+    spec = ScenarioSpec(
+        name=f"e10-{distance_km}km", site_backing="aggregate",
+        sites=(SiteSpec("primary"),
+               SiteSpec("remote", (0.0, float(distance_km)))),
+        links=(LinkSpec("primary", "remote", bandwidth=gbps(2.5),
+                        encrypted=False),),
+        workload=WorkloadSpec(clients=0))
+    built = plan_storage(spec).build(sim).provision()
+    return built, built.site("primary"), built.site("remote")
 
 
 def ack_latency(distance_km: float, mode: ReplicationMode) -> tuple[float, int]:
     """(mean ack ms, rpo bytes at a failure right after the burst)."""
     sim = Simulator()
-    net, a, _b = pair(sim, distance_km)
-    rep = GeoReplicator(sim, net)
+    built, a, _b = pair(sim, distance_km)
+    rep = built.replicator
     rep.register("/f", FilePolicy(replication_mode=mode,
                                   replication_sites=1), a)
     latencies = []
@@ -89,8 +95,8 @@ def test_e10b_file_level_vs_volume_level_traffic(benchmark):
         replicated_fraction = 0.5
 
         sim = Simulator()
-        net, a, _b = pair(sim, 1000)
-        rep = GeoReplicator(sim, net)
+        built, a, _b = pair(sim, 1000)
+        rep = built.replicator
         rep.register("/important", FilePolicy(
             replication_mode=ReplicationMode.ASYNC, replication_sites=1), a)
         rep.register("/scratch", FilePolicy(), a)

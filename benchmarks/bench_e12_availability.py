@@ -18,19 +18,24 @@ Standalone smoke mode (used by CI)::
 
 from _common import run_one
 
-from repro import FaultKind, FaultPlan, NetStorageSystem, SystemConfig
+from repro import FaultKind, FaultPlan
 from repro.baseline import DualControllerArray
 from repro.cluster import ControllerCluster
 from repro.core import format_table, print_experiment
 from repro.faults import FaultInjector
 from repro.obs import RatioSLO, ThresholdSLO
+from repro.plan import ClusterSpec, ScenarioSpec, WorkloadSpec, plan_storage
 from repro.sim import Simulator
-from repro.sim.faults import FAULT_EXCEPTIONS
 from repro.sim.units import days, hours, mib, minutes
 
 HORIZON = days(90)
 MTBF = hours(2000)
 MTTR = hours(6)
+
+#: The shared 4-blade / 16-disk deployment shape every E12 campaign runs
+#: against, as a planner overlay rather than a hand-built SystemConfig.
+CAMPAIGN_CLUSTER = ClusterSpec(blade_count=4, disk_count=16,
+                               disk_capacity=mib(64))
 
 #: The canned three-blade-crash campaign for E12c and the CI smoke run:
 #: staggered crashes with MTTR-scale outages, a gray failure, and a
@@ -53,35 +58,27 @@ def canned_fault_plan() -> FaultPlan:
 
 def faultplan_campaign(plan: FaultPlan | None = None,
                        horizon: float = CAMPAIGN_HORIZON):
-    """Run the canned campaign through a full NetStorageSystem.
+    """Run the canned campaign through a planner-built NetStorageSystem.
+
+    The whole scenario — topology, observability, hourly client, and the
+    fault campaign — is one declarative :class:`ScenarioSpec`; the
+    planner compiles it (validating fault targets against the planned
+    blades/disks/cache) and ``BuiltScenario`` owns construction,
+    provisioning, and the closed-loop client.
 
     Returns ``(system, injector, io_ok, io_failed)`` — the injector's
     trackers carry the per-component availability/MTTR the experiment
     reports.
     """
-    sim = Simulator()
-    system = NetStorageSystem(sim, SystemConfig(
-        blade_count=4, disk_count=16, disk_capacity=mib(64),
-        seed=42, observability=True))
-    system.start()
-    system.create("/campaign/data")
-    injector = system.attach_faults(plan if plan is not None
-                                    else canned_fault_plan())
-    outcome = {"ok": 0, "failed": 0}
-
-    def client():
-        while sim.now < horizon:
-            try:
-                yield system.write("/campaign/data", 0, mib(1))
-                yield system.read("/campaign/data", 0, mib(1))
-                outcome["ok"] += 1
-            except FAULT_EXCEPTIONS:
-                outcome["failed"] += 1
-            yield sim.timeout(hours(1))
-
-    sim.process(client())
-    sim.run(until=horizon)
-    return system, injector, outcome["ok"], outcome["failed"]
+    spec = ScenarioSpec(
+        name="e12c-campaign", seed=42, horizon_s=horizon,
+        cluster=CAMPAIGN_CLUSTER, observability=True,
+        workload=WorkloadSpec(clients=1, op_bytes=mib(1),
+                              period_s=hours(1), path="/campaign/data"),
+        faults=plan if plan is not None else canned_fault_plan())
+    built = plan_storage(spec).build(Simulator())
+    result = built.run()
+    return built.system, built.injector, result.ok, result.failed
 
 
 #: The SLO campaign compresses the canned plan's shape into 12 hours so
@@ -122,13 +119,18 @@ def slo_campaign(plan: FaultPlan | None = None,
     Returns ``(system, injector, obs)``; read the verdict off
     ``obs.slo.alert_log()``.
     """
-    sim = Simulator()
-    system = NetStorageSystem(sim, SystemConfig(
-        blade_count=4, disk_count=16, disk_capacity=mib(64), seed=42))
     # 60 s downsampling intervals: 720 windows of retention covers the
     # 12 h horizon, comfortably beyond the 6 h slow burn window.
-    obs = system.enable_observability(series_interval=60.0,
-                                      series_capacity=720, tracing=False)
+    spec = ScenarioSpec(
+        name="e12f-slo", seed=42, horizon_s=horizon,
+        cluster=CAMPAIGN_CLUSTER, observability=True, tracing=False,
+        series_interval_s=60.0, series_capacity=720,
+        workload=WorkloadSpec(clients=1, op_bytes=mib(1),
+                              period_s=minutes(2), path="/slo/data"),
+        faults=plan if plan is not None else slo_fault_plan())
+    sim = Simulator()
+    built = plan_storage(spec).build(sim)
+    obs = built.obs
     # Prime the availability level at "all blades up" so burn windows
     # that start before the first failure see healthy slots, not a
     # series that begins mid-outage.
@@ -145,23 +147,8 @@ def slo_campaign(plan: FaultPlan | None = None,
         "client-errors", 0.999, good="client.ops_ok",
         bad="client.ops_failed", description="client op success ratio"))
     obs.slo.start(period=60.0)
-    system.start()
-    system.create("/slo/data")
-    injector = system.attach_faults(plan if plan is not None
-                                    else slo_fault_plan())
-
-    def client():
-        while sim.now < horizon:
-            try:
-                yield system.write("/slo/data", 0, mib(1))
-                yield system.read("/slo/data", 0, mib(1))
-            except FAULT_EXCEPTIONS:
-                pass  # the ops_failed series carries the error budget
-            yield sim.timeout(minutes(2))
-
-    sim.process(client())
-    sim.run(until=horizon)
-    return system, injector, obs
+    built.run()  # provision (start + faults) and the 2-min-cadence client
+    return built.system, built.injector, obs
 
 
 def _crash_campaign(seed: int, targets: list[str]) -> FaultPlan:
@@ -254,10 +241,11 @@ def integrity_campaign(at_rest: int = 6, wire_hits: int = 2):
     may be left unrepairable.
     """
     sim = Simulator()
-    system = NetStorageSystem(sim, SystemConfig(
-        blade_count=4, disk_count=16, disk_capacity=mib(64),
-        seed=7, integrity=True))
-    system.start()
+    spec = ScenarioSpec(name="e12e-integrity", seed=7, integrity=True,
+                        cluster=CAMPAIGN_CLUSTER,
+                        workload=WorkloadSpec(clients=0))
+    built = plan_storage(spec).build(sim).provision()
+    system = built.system
     system.create("/integrity/data")
     sim.run(until=system.write("/integrity/data", 0, mib(2)))
     sim.run(until=system.cache.drain_dirty())

@@ -120,14 +120,15 @@ def test_e13b_metadata_center_full_stack(benchmark):
     joined into one data image with encrypted tunnels."""
     from repro.core import SystemConfig
     from repro.geo import MetadataCenter
+    from repro.plan import SiteSpec
 
     def run():
         sim = Simulator()
-        center = MetadataCenter(sim, {
-            "edmonton": (0.0, 0.0),
-            "seattle": (150.0, -1100.0),
-            "boulder": (1400.0, -1500.0),
-        }, config=SystemConfig(blade_count=2, disk_count=8,
+        center = MetadataCenter(sim, [
+            SiteSpec("edmonton", (0.0, 0.0)),
+            SiteSpec("seattle", (150.0, -1100.0)),
+            SiteSpec("boulder", (1400.0, -1500.0)),
+        ], config=SystemConfig(blade_count=2, disk_count=8,
                                disk_capacity=mib(64),
                                cache_bytes_per_blade=mib(8)))
         center.connect("edmonton", "seattle", bandwidth=gbps(2.5))
@@ -185,14 +186,15 @@ def test_e13c_faultplan_drives_site_loss(benchmark):
     from repro import FaultInjector, FaultKind, FaultPlan  # noqa: F401
     from repro.core import SystemConfig
     from repro.geo import MetadataCenter
+    from repro.plan import SiteSpec
 
     def run():
         sim = Simulator()
-        center = MetadataCenter(sim, {
-            "edmonton": (0.0, 0.0),
-            "seattle": (150.0, -1100.0),
-            "boulder": (1400.0, -1500.0),
-        }, config=SystemConfig(blade_count=2, disk_count=8,
+        center = MetadataCenter(sim, [
+            SiteSpec("edmonton", (0.0, 0.0)),
+            SiteSpec("seattle", (150.0, -1100.0)),
+            SiteSpec("boulder", (1400.0, -1500.0)),
+        ], config=SystemConfig(blade_count=2, disk_count=8,
                                disk_capacity=mib(64),
                                cache_bytes_per_blade=mib(8)))
         center.connect("edmonton", "seattle", bandwidth=gbps(2.5))

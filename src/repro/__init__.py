@@ -27,9 +27,13 @@ Quick start::
 
 from .core import NetStorageSystem, SystemConfig
 from .faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy
+from .plan import (ClusterSpec, MatrixSpec, Plan, ScenarioSpec, SiteSpec,
+                   plan_storage, run_matrix, run_scenario)
 from .sim import Simulator
 
 __version__ = "1.0.0"
 
-__all__ = ["FaultInjector", "FaultKind", "FaultPlan", "NetStorageSystem",
-           "RetryPolicy", "Simulator", "SystemConfig", "__version__"]
+__all__ = ["ClusterSpec", "FaultInjector", "FaultKind", "FaultPlan",
+           "MatrixSpec", "NetStorageSystem", "Plan", "RetryPolicy",
+           "ScenarioSpec", "Simulator", "SiteSpec", "SystemConfig",
+           "plan_storage", "run_matrix", "run_scenario", "__version__"]

@@ -128,11 +128,20 @@ class NetStorageSystem:
         Registers health probes for every blade, the pooled cache, the
         cluster, and the disk farm, so ``self.obs.mgmt.status_report()``
         is the single-system-image view of the installation.
+
+        If the simulator already carries a bundle (``sim.obs``), this
+        system *joins* it instead of constructing a fresh one — multi-site
+        deployments share one management plane (Figure 2's single system
+        image), and planner-built scenarios create the bundle up front
+        with their own sizing.  ``kwargs`` only apply when the call
+        creates the bundle.
         """
         if self.obs is not None:
             return self.obs
-        obs = Observability(self.sim, **kwargs)
-        self.sim.obs = obs
+        obs = self.sim.obs
+        if obs is None:
+            obs = Observability(self.sim, **kwargs)
+            self.sim.obs = obs
         self.obs = obs
         self.cache.register_health(obs.mgmt)
         obs.mgmt.register("cluster", self._cluster_health)

@@ -15,10 +15,12 @@ system's raw I/O), so WAN effects stack on honest local costs.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import warnings
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.config import SystemConfig
 from ..core.system import NetStorageSystem
+from ..plan.spec import SiteSpec
 from ..fs.metadata import Inode
 from ..fs.policies import DEFAULT_POLICY, FilePolicy
 from ..sim.events import Event
@@ -34,28 +36,62 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
 
 
+def _coerce_site_specs(site_specs) -> list[SiteSpec]:
+    """Accept the new SiteSpec sequence, shimming the legacy tuple dict.
+
+    The original API took ``{name: (x_km, y_km)}``; it still works but
+    warns — per-site :class:`~repro.core.config.SystemConfig` overrides
+    only exist on :class:`~repro.plan.spec.SiteSpec`.
+    """
+    if isinstance(site_specs, Mapping):
+        warnings.warn(
+            "MetadataCenter(site_specs={name: (x, y)}) is deprecated; "
+            "pass a sequence of repro.plan.SiteSpec objects instead",
+            DeprecationWarning, stacklevel=3)
+        return [SiteSpec(name, tuple(position))
+                for name, position in site_specs.items()]
+    if isinstance(site_specs, Sequence) \
+            and all(isinstance(s, SiteSpec) for s in site_specs):
+        return list(site_specs)
+    raise TypeError(
+        "site_specs must be a sequence of SiteSpec objects "
+        f"(or the deprecated name->position dict), got {site_specs!r}")
+
+
 class MetadataCenter:
-    """One data image spanning several NetStorage deployments."""
+    """One data image spanning several NetStorage deployments.
+
+    ``site_specs`` is a sequence of :class:`~repro.plan.spec.SiteSpec`
+    objects — name, plane position, and optional per-site overrides of
+    the shared ``config`` (a site can run more blades or a different
+    replication factor than its peers).  Sites sharing a simulator share
+    one observability bundle: the first observability-enabled system
+    creates it, the rest join (see
+    :meth:`~repro.core.system.NetStorageSystem.enable_observability`).
+    """
 
     def __init__(self, sim: "Simulator",
-                 site_specs: dict[str, tuple[float, float]],
+                 site_specs: Sequence[SiteSpec] | Mapping[str, tuple],
                  config: SystemConfig | None = None,
                  block_size_wan: int = 1024 * 1024) -> None:
-        if len(site_specs) < 2:
+        specs = _coerce_site_specs(site_specs)
+        if len(specs) < 2:
             raise ValueError("a metadata center needs at least two sites")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names: {names}")
         self.sim = sim
         self.network = WanNetwork(sim)
         self.systems: dict[str, NetStorageSystem] = {}
         base = config or SystemConfig()
-        for name, position in site_specs.items():
-            from dataclasses import replace
-            system = NetStorageSystem(sim, replace(base, name=name))
+        for spec in specs:
+            system = NetStorageSystem(sim, spec.system_config(base))
             system.start()
-            site = Site(sim, name, position,
+            site = Site(sim, spec.name, spec.position,
                         backend_read=system.raw_read,
                         backend_write=system.raw_write)
             self.network.add_site(site)
-            self.systems[name] = system
+            self.systems[spec.name] = system
         self.replicator = GeoReplicator(sim, self.network)
         self.access = DistributedAccessManager(sim, self.network,
                                                block_size=block_size_wan)

@@ -15,6 +15,7 @@ from collections import defaultdict
 from typing import TYPE_CHECKING
 
 from ..sim.events import Event
+from ..sim.faults import FAULT_EXCEPTIONS
 from ..sim.stats import MetricSet
 from .site import Site
 from .wan import WanNetwork
@@ -88,15 +89,21 @@ class DistributedAccessManager:
             return
         fr.access_counts[at.name] += 1
         local = fr.resident.setdefault(at.name, set())
-        if block in local:
-            yield at.store_read(self.block_size)
-            self.metrics.counter("read.local").incr()
-            done.succeed("local")
+        try:
+            if block in local:
+                yield at.store_read(self.block_size)
+                self.metrics.counter("read.local").incr()
+                done.succeed("local")
+                return
+            # Remote first touch: fetch the block from the nearest holder...
+            source = self._nearest_holder(fr, block, at)
+            yield self.network.transfer(source, at, self.block_size)
+            yield at.store_write(self.block_size)
+        except FAULT_EXCEPTIONS + (LookupError,) as exc:
+            # Process boundary: a site/link fault mid-read (or no surviving
+            # copy) fails the completion event, never the kernel.
+            done.fail(exc)
             return
-        # Remote first touch: fetch the block from the nearest holder...
-        source = self._nearest_holder(fr, block, at)
-        yield self.network.transfer(source, at, self.block_size)
-        yield at.store_write(self.block_size)
         local.add(block)
         self.metrics.counter("read.remote").incr()
         # ...and prefetch the following blocks in the background (§7.1).
@@ -127,13 +134,16 @@ class DistributedAccessManager:
             return
 
         def run():
-            for b in blocks:
-                if source.failed or at.failed:
-                    return
-                yield self.network.transfer(source, at, self.block_size)
-                yield at.store_write(self.block_size)
-                fr.resident[at.name].add(b)
-                self.metrics.counter("prefetch.blocks").incr()
+            try:
+                for b in blocks:
+                    if source.failed or at.failed:
+                        return
+                    yield self.network.transfer(source, at, self.block_size)
+                    yield at.store_write(self.block_size)
+                    fr.resident[at.name].add(b)
+                    self.metrics.counter("prefetch.blocks").incr()
+            except FAULT_EXCEPTIONS:
+                return  # a fault *mid-transfer* abandons the prefetch
 
         self.sim.process(run(), name="geo.prefetch")
 
@@ -143,15 +153,18 @@ class DistributedAccessManager:
                    if b not in fr.resident[at.name]]
 
         def run():
-            for b in missing:
-                if source.failed or at.failed:
-                    return
-                if b in fr.resident[at.name]:
-                    continue
-                yield self.network.transfer(source, at, self.block_size)
-                yield at.store_write(self.block_size)
-                fr.resident[at.name].add(b)
-                self.metrics.counter("autoreplicate.blocks").incr()
+            try:
+                for b in missing:
+                    if source.failed or at.failed:
+                        return
+                    if b in fr.resident[at.name]:
+                        continue
+                    yield self.network.transfer(source, at, self.block_size)
+                    yield at.store_write(self.block_size)
+                    fr.resident[at.name].add(b)
+                    self.metrics.counter("autoreplicate.blocks").incr()
+            except FAULT_EXCEPTIONS:
+                return  # a fault mid-transfer abandons the copy
 
         self.sim.process(run(), name="geo.autoreplicate")
 
@@ -165,13 +178,17 @@ class DistributedAccessManager:
 
         def run():
             local = fr.resident.setdefault(at.name, set())
-            for b in range(fr.block_count):
-                if b in local:
-                    continue
-                source = self._nearest_holder(fr, b, at)
-                yield self.network.transfer(source, at, self.block_size)
-                yield at.store_write(self.block_size)
-                local.add(b)
+            try:
+                for b in range(fr.block_count):
+                    if b in local:
+                        continue
+                    source = self._nearest_holder(fr, b, at)
+                    yield self.network.transfer(source, at, self.block_size)
+                    yield at.store_write(self.block_size)
+                    local.add(b)
+            except FAULT_EXCEPTIONS + (LookupError,) as exc:
+                done.fail(exc)
+                return
             done.succeed()
 
         self.sim.process(run(), name="geo.pin")

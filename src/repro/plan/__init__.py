@@ -1,0 +1,52 @@
+"""``repro.plan`` — the declarative topology planner and scenario compiler.
+
+The API front door for building simulated deployments (see
+docs/topology.md):
+
+* spec family (:mod:`repro.plan.spec`) — pure-data scenario descriptions,
+  JSON round-trippable and strict about unknown fields;
+* planner (:mod:`repro.plan.planner`) — :func:`plan_storage` compiles a
+  spec into an asserted, inspectable :class:`Plan`;
+* build (:mod:`repro.plan.scenario`) — ``Plan.build(sim)`` constructs the
+  live system; :meth:`BuiltScenario.provision` runs the unified
+  post-build lifecycle (faults, scrub, profiler, management plane);
+* matrix (:mod:`repro.plan.matrix`) — :class:`MatrixSpec` expands a sweep
+  into concrete scenarios; :func:`run_matrix` drives them through the
+  parallel replication runner.
+"""
+
+from .backing import AggregateFarm
+from .matrix import MatrixSpec, run_matrix, run_scenario
+from .planner import (CacheBenchPlan, LinkPlan, Plan, SitePlan,
+                      plan_cache_bench, plan_storage)
+from .scenario import (BuiltCacheBench, BuiltScenario, PlanDivergenceError,
+                       ScenarioResult, build_cache_bench, build_scenario)
+from .spec import (SITE_BACKINGS, CacheBenchSpec, ClusterSpec, LinkSpec,
+                   ScenarioSpec, SiteSpec, SpecError, WorkloadSpec)
+
+__all__ = [
+    "AggregateFarm",
+    "BuiltCacheBench",
+    "BuiltScenario",
+    "CacheBenchPlan",
+    "CacheBenchSpec",
+    "ClusterSpec",
+    "LinkPlan",
+    "LinkSpec",
+    "MatrixSpec",
+    "Plan",
+    "PlanDivergenceError",
+    "SITE_BACKINGS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SitePlan",
+    "SiteSpec",
+    "SpecError",
+    "WorkloadSpec",
+    "build_cache_bench",
+    "build_scenario",
+    "plan_cache_bench",
+    "plan_storage",
+    "run_matrix",
+    "run_scenario",
+]

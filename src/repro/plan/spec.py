@@ -1,0 +1,407 @@
+"""The declarative topology spec family: data that describes a scenario.
+
+A spec is pure data — *what* to build, never *how* — in the planner idiom:
+a :class:`ScenarioSpec` (topology + workload + campaigns) compiles through
+:func:`repro.plan.planner.plan_storage` into an asserted :class:`~repro.
+plan.planner.Plan`, and the plan builds the live system.  Every spec is a
+frozen dataclass that round-trips losslessly through JSON (``to_json`` /
+``from_json``), rejects unknown fields with the offending path in the
+error (mirroring :meth:`repro.faults.plan.FaultPlan.from_json`'s
+strictness), and carries the seed, so a scenario file is a complete,
+replayable experiment description.
+
+The family:
+
+* :class:`ClusterSpec` — the shape of one site's deployment: a sparse
+  overlay over :class:`~repro.core.config.SystemConfig` (``None`` fields
+  inherit), so per-site overrides compose with scenario-wide defaults;
+* :class:`SiteSpec` — one data center: name, plane position (km), and an
+  optional per-site :class:`ClusterSpec` override;
+* :class:`LinkSpec` — one WAN conduit between two named sites;
+* :class:`WorkloadSpec` — the closed-loop client fleet a scenario drives;
+* :class:`ScenarioSpec` — the whole scenario: sites, links, workload,
+  fault campaign, and the observability/integrity/scrub/profiler toggles;
+* :class:`CacheBenchSpec` — the lightweight blades-over-aggregate-farm
+  topology the cache experiments (E2/E3) sweep;
+* :class:`MatrixSpec` (in :mod:`repro.plan.matrix`) — a sweep over
+  scenario axes expanding into many concrete :class:`ScenarioSpec`\\ s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping, Sequence
+
+from ..core.config import SystemConfig
+from ..sim.units import gbps, mib, us
+
+_CONFIG_FIELDS = {f.name for f in fields(SystemConfig)}
+
+
+class SpecError(ValueError):
+    """A spec failed validation; the message starts with the spec path
+    (e.g. ``sites[1].replication``) naming the offending axis."""
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
+def _reject_unknown(doc: Mapping, allowed: set[str], context: str) -> None:
+    """Unknown-field strictness shared by every ``from_dict``."""
+    unknown = sorted(set(doc) - allowed)
+    if unknown:
+        raise SpecError(context,
+                        f"unknown field(s) {', '.join(map(repr, unknown))}; "
+                        f"known fields: {', '.join(sorted(allowed))}")
+
+
+def _require(doc: Mapping, key: str, context: str) -> Any:
+    if key not in doc:
+        raise SpecError(context, f"missing required field {key!r}")
+    return doc[key]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A sparse overlay over :class:`SystemConfig`.
+
+    Every field defaults to ``None`` — *inherit* — so a scenario-wide
+    cluster default and a per-site override merge field-wise (site wins).
+    Validation is deferred to :meth:`system_config`, which delegates to
+    ``SystemConfig.__post_init__`` and therefore enforces exactly the
+    constraints the built system would.
+    """
+
+    blade_count: int | None = None
+    cache_bytes_per_blade: int | None = None
+    fc_ports_per_blade: int | None = None
+    fc_rate_gb: float | None = None
+    replication: int | None = None
+    disk_count: int | None = None
+    disk_capacity: int | None = None
+    data_per_stripe: int | None = None
+    block_size: int | None = None
+    security_hardened: bool | None = None
+    scrub_rate: float | None = None
+
+    def overrides(self) -> dict[str, Any]:
+        """The explicitly-set fields, as ``dataclasses.replace`` kwargs."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if getattr(self, f.name) is not None}
+
+    def merged(self, override: "ClusterSpec | None") -> "ClusterSpec":
+        """Field-wise merge: ``override``'s set fields win over mine."""
+        if override is None:
+            return self
+        return ClusterSpec(**{**self.overrides(), **override.overrides()})
+
+    def as_dict(self) -> dict:
+        return self.overrides()
+
+    @classmethod
+    def from_dict(cls, doc: Mapping, context: str = "cluster") -> "ClusterSpec":
+        _reject_unknown(doc, {f.name for f in fields(cls)}, context)
+        return cls(**doc)
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One data center: a name, a plane position in km, and optional
+    per-site :class:`SystemConfig` overrides via ``cluster``."""
+
+    name: str
+    position: tuple[float, float] = (0.0, 0.0)
+    cluster: ClusterSpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("site name must be non-empty")
+        object.__setattr__(self, "position",
+                           (float(self.position[0]), float(self.position[1])))
+
+    def system_config(self, base: SystemConfig) -> SystemConfig:
+        """The resolved per-site config: ``base`` renamed to this site,
+        with this site's cluster overrides applied.  Raises the plain
+        ``SystemConfig`` ValueError on invalid combinations — the planner
+        wraps it with the spec path."""
+        overrides = self.cluster.overrides() if self.cluster else {}
+        return dataclasses.replace(base, name=self.name, **overrides)
+
+    def as_dict(self) -> dict:
+        doc: dict[str, Any] = {"name": self.name,
+                               "position": list(self.position)}
+        if self.cluster is not None and self.cluster.overrides():
+            doc["cluster"] = self.cluster.as_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping, context: str = "site") -> "SiteSpec":
+        _reject_unknown(doc, {"name", "position", "cluster"}, context)
+        name = str(_require(doc, "name", context))
+        position = doc.get("position", (0.0, 0.0))
+        if not (isinstance(position, (list, tuple)) and len(position) == 2):
+            raise SpecError(f"{context}.position",
+                            f"expected [x_km, y_km], got {position!r}")
+        cluster = None
+        if "cluster" in doc:
+            cluster = ClusterSpec.from_dict(doc["cluster"],
+                                            context=f"{context}.cluster")
+        return cls(name=name, position=(float(position[0]),
+                                        float(position[1])), cluster=cluster)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One WAN conduit between two named sites (encrypted by default,
+    matching :meth:`~repro.geo.metacenter.MetadataCenter.connect`)."""
+
+    a: str
+    b: str
+    bandwidth: float = gbps(2.5)
+    encrypted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"link endpoints must differ, got {self.a!r}")
+        if self.bandwidth <= 0:
+            raise ValueError(
+                f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def as_dict(self) -> dict:
+        return {"a": self.a, "b": self.b, "bandwidth": self.bandwidth,
+                "encrypted": self.encrypted}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping, context: str = "link") -> "LinkSpec":
+        _reject_unknown(doc, {"a", "b", "bandwidth", "encrypted"}, context)
+        return cls(a=str(_require(doc, "a", context)),
+                   b=str(_require(doc, "b", context)),
+                   bandwidth=float(doc.get("bandwidth", gbps(2.5))),
+                   encrypted=bool(doc.get("encrypted", True)))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The closed-loop client fleet a scenario drives to its horizon.
+
+    Each client owns one file under ``path`` and loops write → read →
+    think, counting an iteration ok when both ops complete and failed
+    when an injected fault surfaces.  ``geo_mode``/``geo_sites`` set the
+    file replication policy in multi-site scenarios (ignored otherwise).
+    """
+
+    clients: int = 2
+    op_bytes: int = mib(1)
+    period_s: float = 60.0
+    path: str = "/bench"
+    geo_mode: str = "async"
+    geo_sites: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clients < 0:
+            raise ValueError(f"clients must be >= 0, got {self.clients}")
+        if self.op_bytes <= 0:
+            raise ValueError(f"op_bytes must be > 0, got {self.op_bytes}")
+        if self.period_s <= 0:
+            raise ValueError(f"period_s must be > 0, got {self.period_s}")
+        if self.geo_mode not in ("none", "sync", "async"):
+            raise ValueError(
+                f"geo_mode must be none/sync/async, got {self.geo_mode!r}")
+        if self.geo_sites < 0:
+            raise ValueError(f"geo_sites must be >= 0, got {self.geo_sites}")
+
+    def as_dict(self) -> dict:
+        return {"clients": self.clients, "op_bytes": self.op_bytes,
+                "period_s": self.period_s, "path": self.path,
+                "geo_mode": self.geo_mode, "geo_sites": self.geo_sites}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping,
+                  context: str = "workload") -> "WorkloadSpec":
+        _reject_unknown(doc, {f.name for f in fields(cls)}, context)
+        try:
+            return cls(**doc)
+        except ValueError as exc:
+            raise SpecError(context, str(exc)) from None
+
+
+#: How the sites of a multi-site scenario model their local storage.
+SITE_BACKINGS = ("system", "aggregate")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, replayable scenario: topology × workload × campaigns.
+
+    ``cluster`` holds scenario-wide :class:`SystemConfig` overrides;
+    per-site :class:`SiteSpec.cluster` overlays win field-wise.  One site
+    builds a single :class:`~repro.core.system.NetStorageSystem`; two or
+    more build a :class:`~repro.geo.metacenter.MetadataCenter`
+    (``site_backing="system"``) or a raw WAN of aggregate-storage sites
+    with a :class:`~repro.geo.replication.GeoReplicator`
+    (``site_backing="aggregate"``, the cheap E10-style geo model).
+
+    ``faults`` is an inline :class:`~repro.faults.plan.FaultPlan`
+    document (the ``{"seed": ..., "faults": [...]}`` shape its
+    ``to_json`` emits); targets are validated against the planned
+    topology at compile time.
+    """
+
+    name: str = "scenario"
+    seed: int = 0
+    horizon_s: float = 3600.0
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    sites: tuple[SiteSpec, ...] = (SiteSpec("site0"),)
+    links: tuple[LinkSpec, ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: Mapping | None = None
+    site_backing: str = "system"
+    observability: bool = False
+    integrity: bool = False
+    scrub_passes: int = 0
+    profiler: bool = False
+    #: Time-series sizing forwarded to :class:`~repro.obs.Observability`
+    #: (fault campaigns evaluating multi-hour SLO burn windows pass e.g.
+    #: ``series_interval_s=60``); ``tracing=False`` keeps the event log
+    #: and series but skips span recording.
+    series_interval_s: float = 1.0
+    series_capacity: int = 720
+    tracing: bool = True
+
+    def __post_init__(self) -> None:
+        # Accept lists (JSON) and a live FaultPlan (builder convenience);
+        # normalize so equality and serialization are canonical.
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(self, "links", tuple(self.links))
+        faults = self.faults
+        if faults is not None and not isinstance(faults, Mapping):
+            # A FaultPlan (or anything exposing its to_json contract).
+            object.__setattr__(self, "faults", json.loads(faults.to_json()))
+
+    def site_names(self) -> list[str]:
+        return [s.name for s in self.sites]
+
+    # -- serialization ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        doc: dict[str, Any] = {
+            "name": self.name, "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "sites": [s.as_dict() for s in self.sites],
+            "workload": self.workload.as_dict(),
+            "site_backing": self.site_backing,
+            "observability": self.observability,
+            "integrity": self.integrity,
+            "scrub_passes": self.scrub_passes,
+            "profiler": self.profiler,
+            "series_interval_s": self.series_interval_s,
+            "series_capacity": self.series_capacity,
+            "tracing": self.tracing,
+        }
+        if self.cluster.overrides():
+            doc["cluster"] = self.cluster.as_dict()
+        if self.links:
+            doc["links"] = [l.as_dict() for l in self.links]
+        if self.faults is not None:
+            doc["faults"] = dict(self.faults)
+        return doc
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Deterministic JSON for fixtures and experiment provenance."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping,
+                  context: str = "scenario") -> "ScenarioSpec":
+        allowed = {"name", "seed", "horizon_s", "cluster", "sites", "links",
+                   "workload", "faults", "site_backing", "observability",
+                   "integrity", "scrub_passes", "profiler",
+                   "series_interval_s", "series_capacity", "tracing"}
+        _reject_unknown(doc, allowed, context)
+        sites_doc = doc.get("sites", [{"name": "site0"}])
+        if not isinstance(sites_doc, Sequence) or isinstance(sites_doc, str):
+            raise SpecError(f"{context}.sites",
+                            f"expected a list of sites, got {sites_doc!r}")
+        sites = tuple(SiteSpec.from_dict(s, context=f"{context}.sites[{i}]")
+                      for i, s in enumerate(sites_doc))
+        links = tuple(LinkSpec.from_dict(l, context=f"{context}.links[{i}]")
+                      for i, l in enumerate(doc.get("links", [])))
+        cluster = ClusterSpec.from_dict(doc.get("cluster", {}),
+                                        context=f"{context}.cluster")
+        workload = WorkloadSpec.from_dict(doc.get("workload", {}),
+                                          context=f"{context}.workload")
+        return cls(
+            name=str(doc.get("name", "scenario")),
+            seed=int(doc.get("seed", 0)),
+            horizon_s=float(doc.get("horizon_s", 3600.0)),
+            cluster=cluster, sites=sites, links=links, workload=workload,
+            faults=doc.get("faults"),
+            site_backing=str(doc.get("site_backing", "system")),
+            observability=bool(doc.get("observability", False)),
+            integrity=bool(doc.get("integrity", False)),
+            scrub_passes=int(doc.get("scrub_passes", 0)),
+            profiler=bool(doc.get("profiler", False)),
+            series_interval_s=float(doc.get("series_interval_s", 1.0)),
+            series_capacity=int(doc.get("series_capacity", 720)),
+            tracing=bool(doc.get("tracing", True)))
+
+    @classmethod
+    def from_json(cls, text: str,
+                  context: str = "scenario") -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text), context=context)
+
+
+@dataclass(frozen=True)
+class CacheBenchSpec:
+    """The lightweight cache-experiment topology: controller blades over
+    an aggregate farm feed (finite bandwidth + positioning latency)
+    instead of per-spindle detail — the shape E2/E3 sweep.
+
+    Defaults are the era-appropriate costs ``benchmarks/_common.py``
+    has always used: one controller core moves ~200 MB/s through
+    firmware, 50 µs per I/O.
+    """
+
+    blade_count: int = 4
+    cache_bytes: int = mib(16)
+    cpu_cores: int = 2
+    cpu_per_io: float = us(50)
+    cpu_per_byte: float = 1.0 / 200e6
+    replication: int = 2
+    block_size: int = 64 * 1024
+    farm_bandwidth: float = 1.2e9
+    farm_latency: float = 0.008
+    interconnect_per_blade: float = gbps(4)
+
+    def __post_init__(self) -> None:
+        if self.blade_count < 1:
+            raise ValueError(
+                f"blade_count must be >= 1, got {self.blade_count}")
+        if not 1 <= self.replication <= self.blade_count:
+            raise ValueError(
+                f"replication {self.replication} must be in "
+                f"[1, blade_count={self.blade_count}]")
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {self.block_size}")
+        if self.farm_bandwidth <= 0 or self.farm_latency < 0:
+            raise ValueError("farm_bandwidth must be > 0 and "
+                             "farm_latency >= 0")
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping,
+                  context: str = "cache_bench") -> "CacheBenchSpec":
+        _reject_unknown(doc, {f.name for f in fields(cls)}, context)
+        try:
+            return cls(**doc)
+        except ValueError as exc:
+            raise SpecError(context, str(exc)) from None
+
+
+__all__ = ["CacheBenchSpec", "ClusterSpec", "LinkSpec", "ScenarioSpec",
+           "SiteSpec", "SpecError", "WorkloadSpec", "SITE_BACKINGS"]

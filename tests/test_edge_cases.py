@@ -168,8 +168,10 @@ class TestWanEncryptionDefaults:
     def test_metacenter_links_encrypted_by_default(self):
         from repro.core import SystemConfig
         from repro.geo import MetadataCenter
+        from repro.plan import SiteSpec
         sim = Simulator()
-        center = MetadataCenter(sim, {"a": (0.0, 0.0), "b": (0.0, 100.0)},
+        center = MetadataCenter(sim, [SiteSpec("a"),
+                                      SiteSpec("b", (0.0, 100.0))],
                                 config=SystemConfig(
                                     blade_count=2, disk_count=8,
                                     disk_capacity=mib(32),

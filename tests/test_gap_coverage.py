@@ -130,8 +130,10 @@ class TestMetacenterErrors:
     def test_read_unknown_file_fails(self):
         from repro.core import SystemConfig
         from repro.geo import MetadataCenter
+        from repro.plan import SiteSpec
         sim = Simulator()
-        center = MetadataCenter(sim, {"a": (0.0, 0.0), "b": (0.0, 100.0)},
+        center = MetadataCenter(sim, [SiteSpec("a"),
+                                      SiteSpec("b", (0.0, 100.0))],
                                 config=SystemConfig(
                                     blade_count=2, disk_count=8,
                                     disk_capacity=mib(32),

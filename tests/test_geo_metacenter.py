@@ -5,6 +5,7 @@ import pytest
 from repro.core import SystemConfig
 from repro.fs import FilePolicy, ReplicationMode
 from repro.geo import MetadataCenter
+from repro.plan import SiteSpec
 from repro.sim import Simulator
 from repro.sim.units import gbps, mib
 
@@ -17,11 +18,11 @@ def small_config():
 
 
 def make_center(sim):
-    center = MetadataCenter(sim, {
-        "edmonton": (0.0, 0.0),
-        "seattle": (150.0, -1100.0),
-        "boulder": (1400.0, -1500.0),
-    }, config=small_config())
+    center = MetadataCenter(sim, [
+        SiteSpec("edmonton", (0.0, 0.0)),
+        SiteSpec("seattle", (150.0, -1100.0)),
+        SiteSpec("boulder", (1400.0, -1500.0)),
+    ], config=small_config())
     center.connect("edmonton", "seattle", bandwidth=gbps(2.5))
     center.connect("seattle", "boulder", bandwidth=gbps(1.0))
     center.connect("edmonton", "boulder", bandwidth=gbps(0.622))
@@ -31,7 +32,7 @@ def make_center(sim):
 def test_validation():
     sim = Simulator()
     with pytest.raises(ValueError):
-        MetadataCenter(sim, {"only": (0.0, 0.0)})
+        MetadataCenter(sim, [SiteSpec("only")])
 
 
 def test_create_and_local_write_read():

@@ -10,6 +10,7 @@ from repro.geo.replication import GeoReplicator
 from repro.geo.site import Site
 from repro.geo.wan import WanNetwork
 from repro.integrity import IntegrityManager
+from repro.plan import SiteSpec
 from repro.protocols import IscsiPortal, ScsiTarget
 from repro.protocols.transports import FC_TRANSPORT, TransportEndpoint
 from repro.security import LunMaskingTable
@@ -155,7 +156,8 @@ def test_geo_without_verification_lands_silently():
 
 def test_geo_tier_repairs_when_local_tiers_cannot():
     sim = Simulator()
-    mc = MetadataCenter(sim, {"east": (0.0, 0.0), "west": (0.0, 3000.0)},
+    mc = MetadataCenter(sim, [SiteSpec("east"),
+                              SiteSpec("west", (0.0, 3000.0))],
                         config=SystemConfig(
                             blade_count=4, disk_count=16,
                             disk_capacity=mib(64), seed=7,

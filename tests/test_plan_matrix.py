@@ -1,0 +1,179 @@
+"""MatrixSpec: expansion, fault templates, and the parallel runner."""
+
+import json
+
+import pytest
+
+from repro.plan import (ClusterSpec, MatrixSpec, ScenarioSpec, SiteSpec,
+                        SpecError, WorkloadSpec, plan_storage, run_matrix,
+                        run_scenario)
+from repro.sim.rng import stable_hash
+from repro.sim.units import mib
+
+SMALL = ClusterSpec(blade_count=4, disk_count=8, disk_capacity=mib(64))
+
+CAMPAIGN = {"seed": 5, "faults": [
+    {"at": 30.0, "kind": "blade_crash", "target": "@site0.blade1",
+     "duration": 20.0},
+    {"at": 60.0, "kind": "transient_io", "target": "@site0.cache",
+     "duration": 1.0, "severity": 2.0}]}
+
+
+def base_spec(**kw):
+    kw.setdefault("name", "smoke")
+    kw.setdefault("cluster", SMALL)
+    kw.setdefault("horizon_s", 120.0)
+    kw.setdefault("workload", WorkloadSpec(clients=1, period_s=30.0))
+    return ScenarioSpec(**kw)
+
+
+def smoke_matrix():
+    return MatrixSpec(base_spec(), sweep={
+        "sites": [1, 2, 3],
+        "replication": [2, 3],
+        "faults": [None, CAMPAIGN],
+    })
+
+
+# -- expansion -----------------------------------------------------------------
+
+
+def test_matrix_expands_the_cartesian_product():
+    matrix = smoke_matrix()
+    assert len(matrix) == 12
+    specs = matrix.expand()
+    assert len(specs) == 12
+    assert len({s.name for s in specs}) == 12
+    # Canonical axis order regardless of document order: sites before
+    # replication before faults.
+    assert specs[0].name == "smoke/sites=1/replication=2/faults=off"
+    assert specs[-1].name == "smoke/sites=3/replication=3/faults=on"
+
+
+def test_axes_apply_to_the_right_layers():
+    specs = smoke_matrix().expand()
+    by_name = {s.name: s for s in specs}
+    three = by_name["smoke/sites=3/replication=3/faults=off"]
+    assert [s.name for s in three.sites] == ["site0", "site1", "site2"]
+    assert three.sites[2].position == (0.0, 1000.0)
+    assert three.cluster.replication == 3
+    assert three.faults is None
+    one = by_name["smoke/sites=1/replication=2/faults=on"]
+    assert len(one.sites) == 1
+    assert one.cluster.replication == 2
+
+
+def test_seeds_are_stable_distinct_and_name_derived():
+    specs = smoke_matrix().expand()
+    seeds = [s.seed for s in specs]
+    assert len(set(seeds)) == len(seeds)
+    for s in specs:
+        assert s.seed == stable_hash((0, s.name))
+    # Same matrix, same seeds — expansion is a pure function.
+    assert [s.seed for s in smoke_matrix().expand()] == seeds
+
+
+def test_fault_templates_resolve_per_topology():
+    specs = smoke_matrix().expand()
+    by_name = {s.name: s for s in specs}
+    single = by_name["smoke/sites=1/replication=2/faults=on"]
+    multi = by_name["smoke/sites=3/replication=2/faults=on"]
+    # One campaign document: site-qualified in the 3-site cell, with the
+    # qualifier (and the @) stripped in the 1-site cell.
+    assert single.faults["faults"][0]["target"] == "blade1"
+    assert single.faults["faults"][1]["target"] == "cache"
+    assert multi.faults["faults"][0]["target"] == "site0.blade1"
+    assert multi.faults["faults"][1]["target"] == "site0.cache"
+
+
+def test_base_spec_faults_also_get_template_rewrite():
+    matrix = MatrixSpec(base_spec(faults=CAMPAIGN), sweep={"sites": [1, 2]})
+    one, two = matrix.expand()
+    assert one.faults["faults"][0]["target"] == "blade1"
+    assert two.faults["faults"][0]["target"] == "site0.blade1"
+
+
+def test_bad_cells_fail_at_expansion_with_spec_path():
+    matrix = MatrixSpec(base_spec(), sweep={"replication": [2, 9]})
+    with pytest.raises(SpecError) as exc:
+        matrix.expand()
+    assert exc.value.path == "sites[0].replication"
+
+
+def test_unknown_axis_and_empty_values_rejected():
+    with pytest.raises(SpecError) as exc:
+        MatrixSpec(base_spec(), sweep={"warp": [1]})
+    assert exc.value.path == "sweep.warp"
+    with pytest.raises(SpecError):
+        MatrixSpec(base_spec(), sweep={"sites": []})
+    with pytest.raises(SpecError):
+        MatrixSpec(base_spec(), sweep={"sites": [0]}).expand()
+
+
+# -- serialization -------------------------------------------------------------
+
+
+def test_matrix_json_round_trip():
+    matrix = smoke_matrix()
+    again = MatrixSpec.from_json(matrix.to_json())
+    assert again.as_dict() == matrix.as_dict()
+    assert [s.name for s in again.expand()] == \
+        [s.name for s in matrix.expand()]
+    with pytest.raises(SpecError):
+        MatrixSpec.from_dict({"bose": {}})
+
+
+def test_matrix_from_one_json_document():
+    """The ISSUE's headline: a ≥12-cell sweep compiles and builds from
+    one JSON document with no per-scenario Python."""
+    doc = {
+        "name": "doc-smoke",
+        "base": {"name": "doc-smoke", "horizon_s": 120.0,
+                 "cluster": {"blade_count": 4, "disk_count": 8,
+                             "disk_capacity": mib(64)},
+                 "workload": {"clients": 1, "period_s": 30.0}},
+        "sweep": {"sites": [1, 2, 3], "replication": [2, 3],
+                  "faults": [None, CAMPAIGN]},
+    }
+    matrix = MatrixSpec.from_json(json.dumps(doc))
+    specs = matrix.expand()
+    assert len(specs) == 12
+    for spec in specs:
+        plan_storage(spec)  # every cell compiles
+
+
+# -- running -------------------------------------------------------------------
+
+
+def small_matrix():
+    return MatrixSpec(base_spec(), sweep={
+        "sites": [1, 2], "faults": [None, CAMPAIGN]})
+
+
+def test_run_matrix_serial_and_parallel_agree():
+    matrix = small_matrix()
+    serial = run_matrix(matrix, max_workers=1)
+    parallel = run_matrix(matrix, max_workers=4)
+    assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+    assert len(serial) == 4
+    names = [s.name for s in matrix.expand()]
+    assert [r.name for r in serial] == names
+    for r in serial:
+        assert r.sim_time >= 120.0
+        assert r.ok > 0
+
+
+def test_run_matrix_fingerprints_reproduce():
+    matrix = small_matrix()
+    first = [r.fingerprint for r in run_matrix(matrix, max_workers=2)]
+    second = [r.fingerprint for r in run_matrix(matrix, max_workers=1)]
+    assert first == second
+    assert len(set(first)) == len(first)   # distinct cells, distinct digests
+
+
+def test_run_scenario_matches_matrix_cell():
+    matrix = small_matrix()
+    cell = matrix.expand()[0]
+    direct = run_scenario(cell)
+    via_matrix = run_matrix(matrix, max_workers=1)[0]
+    assert direct.as_dict() == via_matrix.as_dict()

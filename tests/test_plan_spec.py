@@ -1,0 +1,153 @@
+"""The spec family: JSON round-trips, strictness, and validation paths."""
+
+import json
+
+import pytest
+
+from repro.core import SystemConfig
+from repro.faults import FaultKind, FaultPlan
+from repro.plan import (ClusterSpec, LinkSpec, ScenarioSpec, SiteSpec,
+                        SpecError, WorkloadSpec)
+from repro.sim.units import gbps, mib
+
+
+# -- ClusterSpec: the sparse SystemConfig overlay ------------------------------
+
+
+def test_cluster_spec_overrides_only_set_fields():
+    spec = ClusterSpec(blade_count=8, replication=3)
+    assert spec.overrides() == {"blade_count": 8, "replication": 3}
+    assert ClusterSpec().overrides() == {}
+
+
+def test_cluster_spec_merge_site_wins_fieldwise():
+    base = ClusterSpec(blade_count=8, disk_count=32)
+    site = ClusterSpec(blade_count=2)
+    merged = base.merged(site)
+    assert merged.blade_count == 2       # site override wins
+    assert merged.disk_count == 32       # base field survives
+    assert base.merged(None) is base
+
+
+def test_cluster_spec_tracks_system_config_fields():
+    # Every ClusterSpec field must be a real SystemConfig field, or the
+    # overlay silently drops overrides.
+    config_fields = set(SystemConfig.__dataclass_fields__)
+    for name in ClusterSpec.__dataclass_fields__:
+        assert name in config_fields
+
+
+def test_cluster_spec_rejects_unknown_fields_with_path():
+    with pytest.raises(SpecError) as exc:
+        ClusterSpec.from_dict({"blade_cuont": 4}, context="sites[2].cluster")
+    assert "sites[2].cluster" in str(exc.value)
+    assert "blade_cuont" in str(exc.value)
+    assert exc.value.path == "sites[2].cluster"
+
+
+# -- SiteSpec / LinkSpec / WorkloadSpec ----------------------------------------
+
+
+def test_site_spec_validates_and_normalizes():
+    site = SiteSpec("edmonton", (1, 2))
+    assert site.position == (1.0, 2.0)
+    with pytest.raises(ValueError):
+        SiteSpec("")
+
+
+def test_site_spec_from_dict_bad_position_path():
+    with pytest.raises(SpecError) as exc:
+        SiteSpec.from_dict({"name": "a", "position": [1]}, context="sites[0]")
+    assert exc.value.path == "sites[0].position"
+
+
+def test_site_spec_requires_name():
+    with pytest.raises(SpecError) as exc:
+        SiteSpec.from_dict({"position": [0, 0]})
+    assert "missing required field 'name'" in str(exc.value)
+
+
+def test_link_spec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec("a", "a")
+    with pytest.raises(ValueError):
+        LinkSpec("a", "b", bandwidth=0)
+    with pytest.raises(SpecError) as exc:
+        LinkSpec.from_dict({"a": "x", "b": "y", "bandwdith": 1}, "links[3]")
+    assert exc.value.path == "links[3]"
+
+
+def test_workload_spec_validation_wrapped_with_path():
+    with pytest.raises(ValueError):
+        WorkloadSpec(clients=-1)
+    with pytest.raises(ValueError):
+        WorkloadSpec(geo_mode="maybe")
+    with pytest.raises(SpecError) as exc:
+        WorkloadSpec.from_dict({"period_s": 0}, context="scenario.workload")
+    assert str(exc.value).startswith("scenario.workload:")
+
+
+# -- ScenarioSpec serialization ------------------------------------------------
+
+
+def full_spec():
+    plan = (FaultPlan(seed=9)
+            .add(30.0, FaultKind.SITE_LOSS, "east", duration=120.0))
+    return ScenarioSpec(
+        name="rt", seed=11, horizon_s=900.0,
+        cluster=ClusterSpec(blade_count=2, disk_count=8,
+                            disk_capacity=mib(64)),
+        sites=(SiteSpec("east"),
+               SiteSpec("west", (0.0, 1000.0), ClusterSpec(blade_count=3))),
+        links=(LinkSpec("east", "west", bandwidth=gbps(1.0),
+                        encrypted=False),),
+        workload=WorkloadSpec(clients=3, op_bytes=mib(2)),
+        faults=plan, observability=True)
+
+
+def test_scenario_spec_json_round_trip_identity():
+    spec = full_spec()
+    again = ScenarioSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.to_json() == spec.to_json()
+
+
+def test_scenario_spec_normalizes_live_fault_plan():
+    spec = full_spec()
+    # The builder-convenience FaultPlan was canonicalized to its JSON doc.
+    assert isinstance(spec.faults, dict)
+    assert spec.faults["seed"] == 9
+    assert spec.faults["faults"][0]["target"] == "east"
+
+
+def test_scenario_spec_unknown_field_rejected_with_known_list():
+    doc = json.loads(full_spec().to_json())
+    doc["sutes"] = []
+    with pytest.raises(SpecError) as exc:
+        ScenarioSpec.from_dict(doc)
+    assert "'sutes'" in str(exc.value)
+    assert "known fields" in str(exc.value)
+
+
+def test_scenario_spec_nested_unknown_fields_carry_full_path():
+    doc = json.loads(full_spec().to_json())
+    doc["sites"][1]["cluster"]["blade_cnt"] = 4
+    with pytest.raises(SpecError) as exc:
+        ScenarioSpec.from_dict(doc)
+    assert exc.value.path == "scenario.sites[1].cluster"
+    doc = json.loads(full_spec().to_json())
+    doc["links"][0]["crypto"] = True
+    with pytest.raises(SpecError) as exc:
+        ScenarioSpec.from_dict(doc)
+    assert exc.value.path == "scenario.links[0]"
+
+
+def test_scenario_spec_sites_must_be_a_list():
+    with pytest.raises(SpecError) as exc:
+        ScenarioSpec.from_dict({"sites": "site0"})
+    assert exc.value.path == "scenario.sites"
+
+
+def test_scenario_spec_defaults_round_trip():
+    spec = ScenarioSpec()
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
