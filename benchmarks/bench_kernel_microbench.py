@@ -228,12 +228,54 @@ def _farm_feed(scale: float) -> int:
     return sim.events_processed
 
 
+def _calendar_storm(scale: float, scheduler: str = "heap") -> int:
+    """A timer storm holding ~scale×4M timers pending at once — the
+    megascale shape where event-queue backend choice matters.  One
+    shared callback and no per-timer state so the measured delta is
+    scheduler push/pop cost, not closure dispatch.  Runs once per
+    backend (``calendar_storm[heap]`` / ``[calendar]``) so
+    BENCH_kernel.json records both sides of the crossover."""
+    sim = Simulator(scheduler=scheduler)
+    n = int(4_000_000 * scale)
+    noop = lambda: None  # noqa: E731 - the cheapest dispatchable target
+
+    for i in range(n):
+        sim.call_in((i % 1009) * 0.1 + (i % 97) * 0.0013, noop)
+    sim.run()
+    return sim.events_processed
+
+
+def _megascale_feed(scale: float, scheduler: str = "heap") -> int:
+    """A fluid megascale site: ~scale×4M clients aggregated into rate
+    flows against one aggregate-storage site.  The point on record is
+    the event *economy* — kernel events stay O(pulses), not O(clients)."""
+    from repro.geo.site import Site
+    from repro.workloads.aggregate import FluidStream
+
+    sim = Simulator(scheduler=scheduler)
+    site = Site(sim, "mega", (0.0, 0.0))
+    clients = max(1, int(4_000_000 * scale))
+    stream = FluidStream(
+        sim, name="mega", clients=clients, ops_per_client_s=0.05,
+        op_bytes=4096, read_sink=site.store_read,
+        write_sink=site.store_write, pulse_s=0.25,
+        admit_ops_s=clients * 0.04)
+    stream.start(until=600.0)
+    sim.run()
+    assert stream.ops_completed > 0
+    return sim.events_processed
+
+
 SCENARIOS = {
     "timeout_storm": _timeout_storm,
     "link_contention": _link_contention,
     "resource_contention": _resource_contention,
     "cache_ops": _cache_ops,
     "farm_feed": _farm_feed,
+    "calendar_storm[heap]": lambda s: _calendar_storm(s, "heap"),
+    "calendar_storm[calendar]": lambda s: _calendar_storm(s, "calendar"),
+    "megascale_feed[heap]": lambda s: _megascale_feed(s, "heap"),
+    "megascale_feed[calendar]": lambda s: _megascale_feed(s, "calendar"),
 }
 
 

@@ -670,7 +670,7 @@ class CacheCluster:
 
     def _drain(self, done: Event):
         while self._dirty_queue.items:
-            key = self._dirty_queue.items.pop(0)
+            key = self._dirty_queue.items.popleft()
             self._dirty_pending.discard(key)
             yield self.destage(key)
         done.succeed()

@@ -21,8 +21,8 @@ from .planner import (CacheBenchPlan, LinkPlan, Plan, SitePlan,
                       plan_cache_bench, plan_storage)
 from .scenario import (BuiltCacheBench, BuiltScenario, PlanDivergenceError,
                        ScenarioResult, build_cache_bench, build_scenario)
-from .spec import (SITE_BACKINGS, CacheBenchSpec, ClusterSpec, LinkSpec,
-                   ScenarioSpec, SiteSpec, SpecError, WorkloadSpec)
+from .spec import (SITE_BACKINGS, WORKLOAD_KINDS, CacheBenchSpec, ClusterSpec,
+                   LinkSpec, ScenarioSpec, SiteSpec, SpecError, WorkloadSpec)
 
 __all__ = [
     "AggregateFarm",
@@ -42,6 +42,7 @@ __all__ = [
     "SitePlan",
     "SiteSpec",
     "SpecError",
+    "WORKLOAD_KINDS",
     "WorkloadSpec",
     "build_cache_bench",
     "build_scenario",

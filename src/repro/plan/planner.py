@@ -121,8 +121,9 @@ class Plan:
 
     * ``"system"`` — one site, one full NetStorageSystem;
     * ``"geo"`` — ≥2 full per-site systems joined as a MetadataCenter;
-    * ``"wan"`` — ≥2 aggregate-storage sites on a WanNetwork with a
-      GeoReplicator + DR coordinator (the cheap E10/E13a geo model).
+    * ``"wan"`` — aggregate-storage sites on a WanNetwork with a
+      GeoReplicator + DR coordinator (the cheap E10/E13a geo model;
+      single-site only for fluid megascale workloads).
     """
 
     spec: ScenarioSpec
@@ -254,10 +255,19 @@ def plan_storage(spec: ScenarioSpec) -> Plan:
 
     multi = len(spec.sites) > 1
     aggregate = spec.site_backing == "aggregate"
-    if aggregate and not multi:
+    fluid = spec.workload.kind == "fluid"
+    if fluid and not aggregate:
+        raise SpecError(
+            "workload.kind",
+            "fluid workloads aggregate 10⁵+ clients into rate flows; they "
+            'require site_backing="aggregate" (per-block system I/O at '
+            "aggregated pulse volumes defeats the point)")
+    if aggregate and not multi and not fluid:
         raise SpecError("site_backing",
                         "aggregate backing models a WAN of sites; a "
-                        "single-site scenario builds a full system")
+                        "single-site closed-loop scenario builds a full "
+                        "system (single-site aggregate is reserved for "
+                        'workload kind="fluid")')
     if aggregate and (spec.integrity or spec.scrub_passes):
         raise SpecError("integrity" if spec.integrity else "scrub_passes",
                         "aggregate sites have no disks to checksum; use "
@@ -270,7 +280,7 @@ def plan_storage(spec: ScenarioSpec) -> Plan:
                         "scrubbing requires integrity=true (checksums are "
                         "what a scrub verifies)")
 
-    kind = "system" if not multi else ("wan" if aggregate else "geo")
+    kind = "wan" if aggregate else ("geo" if multi else "system")
 
     # -- per-site configs + layout --------------------------------------------
     site_plans: list[SitePlan] = []

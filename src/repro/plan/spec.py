@@ -183,14 +183,37 @@ class LinkSpec:
                    encrypted=bool(doc.get("encrypted", True)))
 
 
+#: How a scenario's clients are modeled.
+WORKLOAD_KINDS = ("closed", "fluid")
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """The closed-loop client fleet a scenario drives to its horizon.
+    """The client population a scenario drives to its horizon.
 
-    Each client owns one file under ``path`` and loops write → read →
-    think, counting an iteration ok when both ops complete and failed
-    when an injected fault surfaces.  ``geo_mode``/``geo_sites`` set the
-    file replication policy in multi-site scenarios (ignored otherwise).
+    ``kind="closed"`` (the default) spawns one generator process per
+    client: each owns a file under ``path`` and loops write → read →
+    think every ``period_s``, counting an iteration ok when both ops
+    complete and failed when an injected fault surfaces.
+
+    ``kind="fluid"`` models the whole per-site population as a
+    :class:`~repro.workloads.aggregate.FluidStream` rate flow — the
+    megascale form, valid for 10⁵–10⁷ ``clients`` per site, where only
+    the fluid fields below apply and the planner requires
+    ``site_backing="aggregate"`` (per-block system I/O at aggregated
+    pulse volumes would defeat the point).
+
+    ``geo_mode``/``geo_sites`` set the file replication policy in
+    multi-site scenarios (ignored otherwise) for both kinds.
+
+    Fluid fields (ignored for closed workloads):
+
+    * ``ops_per_client_s`` — per-client sustained op rate;
+    * ``read_fraction`` / ``hit_ratio`` — read share and cache-hit share
+      (hits never touch the kernel);
+    * ``pulse_s`` — fluid accounting quantum;
+    * ``admit_ops_s`` — portal admission token-bucket rate per site
+      (0 = unthrottled).
     """
 
     clients: int = 2
@@ -199,6 +222,12 @@ class WorkloadSpec:
     path: str = "/bench"
     geo_mode: str = "async"
     geo_sites: int = 1
+    kind: str = "closed"
+    ops_per_client_s: float = 0.02
+    read_fraction: float = 0.7
+    hit_ratio: float = 0.9
+    pulse_s: float = 1.0
+    admit_ops_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clients < 0:
@@ -212,11 +241,33 @@ class WorkloadSpec:
                 f"geo_mode must be none/sync/async, got {self.geo_mode!r}")
         if self.geo_sites < 0:
             raise ValueError(f"geo_sites must be >= 0, got {self.geo_sites}")
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"kind must be one of {WORKLOAD_KINDS}, got {self.kind!r}")
+        if self.ops_per_client_s < 0:
+            raise ValueError(
+                f"ops_per_client_s must be >= 0, got {self.ops_per_client_s}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}")
+        if not 0.0 <= self.hit_ratio <= 1.0:
+            raise ValueError(
+                f"hit_ratio must be in [0, 1], got {self.hit_ratio}")
+        if self.pulse_s <= 0:
+            raise ValueError(f"pulse_s must be > 0, got {self.pulse_s}")
+        if self.admit_ops_s < 0:
+            raise ValueError(
+                f"admit_ops_s must be >= 0, got {self.admit_ops_s}")
 
     def as_dict(self) -> dict:
         return {"clients": self.clients, "op_bytes": self.op_bytes,
                 "period_s": self.period_s, "path": self.path,
-                "geo_mode": self.geo_mode, "geo_sites": self.geo_sites}
+                "geo_mode": self.geo_mode, "geo_sites": self.geo_sites,
+                "kind": self.kind,
+                "ops_per_client_s": self.ops_per_client_s,
+                "read_fraction": self.read_fraction,
+                "hit_ratio": self.hit_ratio, "pulse_s": self.pulse_s,
+                "admit_ops_s": self.admit_ops_s}
 
     @classmethod
     def from_dict(cls, doc: Mapping,
@@ -404,4 +455,5 @@ class CacheBenchSpec:
 
 
 __all__ = ["CacheBenchSpec", "ClusterSpec", "LinkSpec", "ScenarioSpec",
-           "SiteSpec", "SpecError", "WorkloadSpec", "SITE_BACKINGS"]
+           "SiteSpec", "SpecError", "WorkloadSpec", "SITE_BACKINGS",
+           "WORKLOAD_KINDS"]

@@ -25,12 +25,14 @@ Hot-path notes (see docs/performance.md):
 
 from __future__ import annotations
 
+from functools import partial
 from heapq import heappop, heappush
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGen
+from .scheduler import SCHEDULER_BACKENDS, CalendarScheduler, HeapScheduler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs import Observability
@@ -58,10 +60,27 @@ class Simulator:
     3.0
     """
 
-    def __init__(self, pooling: bool = True) -> None:
+    def __init__(self, pooling: bool = True, scheduler: str = "heap") -> None:
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Event | None,
-                                Callable | None]] = []
+        # Backend selection is asserted exactly once, here.  The queue and
+        # the inlined drain loops are specialized to the chosen backend, so
+        # switching after construction is kernel misuse (see the
+        # ``scheduler`` property).
+        try:
+            backend = SCHEDULER_BACKENDS[scheduler]
+        except KeyError:
+            raise SimulationError(
+                f"unknown scheduler backend {scheduler!r}; choose one of "
+                f"{sorted(SCHEDULER_BACKENDS)}") from None
+        self._scheduler_kind = scheduler
+        self._queue = backend()
+        #: The single push entry point every event source goes through
+        #: (``events.py``/``process.py`` included).  For the heap backend
+        #: this is the C ``heappush`` partially applied to the queue — the
+        #: same machine path as the pre-backend kernel.
+        self._push: Callable[[tuple], None] = (
+            partial(heappush, self._queue)
+            if backend is HeapScheduler else self._queue.push)
         self._seq = count()
         self._active = True
         self.events_processed: int = 0
@@ -79,13 +98,34 @@ class Simulator:
         #: :meth:`attach_profiler`.
         self.profiler: "KernelProfiler | None" = None
 
+    # -- scheduler backend ----------------------------------------------------
+
+    @property
+    def scheduler(self) -> str:
+        """The event-queue backend name (``"heap"`` or ``"calendar"``)."""
+        return self._scheduler_kind
+
+    @scheduler.setter
+    def scheduler(self, value: Any) -> None:
+        raise SimulationError(
+            "scheduler backend is fixed at construction; build a new "
+            "Simulator(scheduler=...) instead of switching mid-run")
+
+    def _check_backend(self) -> None:
+        if self._queue.kind != self._scheduler_kind:
+            raise SimulationError(
+                f"event queue backend {self._queue.kind!r} does not match "
+                f"the scheduler selected at construction "
+                f"({self._scheduler_kind!r}); the backend cannot be "
+                "switched mid-run — build a new Simulator(scheduler=...)")
+
     # -- scheduling (kernel internal) ----------------------------------------
 
     def _enqueue(self, delay: float, event: Event,
                  callback: Callable[[Event], None] | None = None) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} into the past")
-        heappush(self._queue, (self.now + delay, next(self._seq), event, callback))
+        self._push((self.now + delay, next(self._seq), event, callback))
 
     # -- deferred-call fast path ----------------------------------------------
 
@@ -99,14 +139,14 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} into the past")
-        heappush(self._queue, (self.now + delay, next(self._seq), None, fn))
+        self._push((self.now + delay, next(self._seq), None, fn))
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(
                 f"call_at({when}) is in the past (now={self.now})")
-        heappush(self._queue, (when, next(self._seq), None, fn))
+        self._push((when, next(self._seq), None, fn))
 
     #: Alias kept so model code reads naturally at call sites that think in
     #: terms of "schedule this callback", not "call later".
@@ -131,7 +171,7 @@ class Simulator:
             t._ok = True
             t._processed = False
             t.delay = delay
-            heappush(self._queue, (self.now + delay, next(self._seq), t, None))
+            self._push((self.now + delay, next(self._seq), t, None))
             return t
         return Timeout(self, delay, value)
 
@@ -168,7 +208,9 @@ class Simulator:
         q = self._queue
         if not q:
             raise SimulationError("no events queued")
-        when, _seq, event, callback = heappop(q)
+        if q.kind != self._scheduler_kind:
+            self._check_backend()
+        when, _seq, event, callback = q.pop_min()
         self.now = when
         self.events_processed += 1
         if self.profiler is not None:
@@ -198,7 +240,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` if none are queued."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -208,6 +250,7 @@ class Simulator:
         * ``until=<Event>`` — run until the event is processed; returns its
           value (raising if it failed).
         """
+        self._check_backend()
         if until is None:
             self._run_all()
             return None
@@ -225,8 +268,13 @@ class Simulator:
         if horizon < self.now:
             raise SimulationError(
                 f"run(until={horizon}) is in the past (now={self.now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        q = self._queue
+        if type(q) is HeapScheduler:
+            while q and q[0][0] <= horizon:
+                self.step()
+        else:
+            while q and q.peek_time() <= horizon:
+                self.step()
         self.now = horizon
         return None
 
@@ -246,6 +294,14 @@ class Simulator:
                 self.step()
             return
         q = self._queue
+        if type(q) is HeapScheduler:
+            self._run_all_heap(q)
+        else:
+            self._run_all_calendar(q)
+
+    def _run_all_heap(self, q: HeapScheduler) -> None:
+        # The heap IS a list: pop straight through the C heapq function,
+        # exactly the pre-backend fast path.
         pop = heappop
         free = self._free_timeouts
         pooling = self.pooling
@@ -253,6 +309,48 @@ class Simulator:
         try:
             while q:
                 when, _seq, event, callback = pop(q)
+                self.now = when
+                processed += 1
+                if event is None:
+                    callback()
+                    continue
+                if callback is not None:
+                    callback(event)
+                    continue
+                if event._processed:
+                    continue
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                if pooling and type(event) is Timeout \
+                        and len(free) < _POOL_MAX:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    free.append(event)
+        finally:
+            self.events_processed += processed
+
+    def _run_all_calendar(self, q: CalendarScheduler) -> None:
+        # Same inlined body as the heap loop, but popping straight off the
+        # tail of the wheel's current bucket (sorted descending, so the
+        # tail is the minimum).  ``q._cur`` must be re-read every
+        # iteration: any callback can push, and a push may trigger a
+        # relayout that swaps the bucket lists out from under us.
+        rotate = q._rotate
+        free = self._free_timeouts
+        pooling = self.pooling
+        processed = 0
+        try:
+            while q._n:
+                cur = q._cur
+                if not cur:
+                    rotate()
+                    cur = q._cur
+                q._n -= 1
+                when, _seq, event, callback = cur.pop()
                 self.now = when
                 processed += 1
                 if event is None:

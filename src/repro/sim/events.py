@@ -7,7 +7,6 @@ conditions (:class:`AllOf`, :class:`AnyOf`) build barriers and races.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -65,7 +64,7 @@ class Event:
         self._ok = True
         self._value = value
         sim = self.sim
-        heappush(sim._queue, (sim.now, next(sim._seq), self, None))
+        sim._push((sim.now, next(sim._seq), self, None))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -77,7 +76,7 @@ class Event:
         self._ok = False
         self._value = exc
         sim = self.sim
-        heappush(sim._queue, (sim.now, next(sim._seq), self, None))
+        sim._push((sim.now, next(sim._seq), self, None))
         return self
 
     # -- waiting ------------------------------------------------------------
@@ -119,7 +118,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        heappush(sim._queue, (sim.now + delay, next(sim._seq), self, None))
+        sim._push((sim.now + delay, next(sim._seq), self, None))
 
 
 class ConditionError(Exception):

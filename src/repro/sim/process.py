@@ -9,7 +9,6 @@ injection.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator
 
 from .events import PENDING, Event
@@ -47,6 +46,22 @@ class _StartSignal:
 _START = _StartSignal()
 
 
+class _InterruptSignal:
+    """Minimal failed-delivery payload for :meth:`Process.interrupt`.
+
+    Interrupts ride the direct-delivery channel, which reads only
+    ``_ok``/``_value`` — a two-slot record instead of a full :class:`Event`
+    with its callbacks list, the same trimming `_StartSignal` applied to
+    process start.
+    """
+
+    __slots__ = ("_value",)
+    _ok = False
+
+    def __init__(self, cause: Any) -> None:
+        self._value = Interrupt(cause)
+
+
 class Process(Event):
     """A running generator; completes (as an event) when the generator does.
 
@@ -71,7 +86,7 @@ class Process(Event):
         self._resume_cb = self._resume
         # Kick off at the current simulation time via the direct-delivery
         # channel (no per-process start Event).
-        heappush(sim._queue, (sim.now, next(sim._seq), _START, self._resume_cb))
+        sim._push((sim.now, next(sim._seq), _START, self._resume_cb))
 
     @property
     def is_alive(self) -> bool:
@@ -87,10 +102,9 @@ class Process(Event):
         """
         if self.triggered:
             raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
-        interrupt_ev = Event(self.sim)
-        interrupt_ev._ok = False
-        interrupt_ev._value = Interrupt(cause)
-        self.sim._enqueue(0.0, interrupt_ev, callback=self._resume_cb)
+        sim = self.sim
+        sim._push((sim.now, next(sim._seq), _InterruptSignal(cause),
+                   self._resume_cb))
 
     # -- kernel side ---------------------------------------------------------
 

@@ -8,6 +8,7 @@ slots, and switch ports.  All queues are FIFO (or priority-ordered for
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -51,7 +52,9 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.in_use = 0
-        self._waiting: list[Request] = []
+        # Deque so _pop_waiter is O(1); list.pop(0) shifts the whole queue,
+        # an O(n) tax that compounds under megascale contention.
+        self._waiting: deque[Request] = deque()
 
     @property
     def queue_length(self) -> int:
@@ -95,7 +98,7 @@ class Resource:
         self._waiting.append(req)
 
     def _pop_waiter(self) -> Request | None:
-        return self._waiting.pop(0) if self._waiting else None
+        return self._waiting.popleft() if self._waiting else None
 
     def _cancel_waiter(self, req: Request) -> None:
         try:
@@ -149,13 +152,15 @@ class Store:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.items: list[Any] = []
-        self._getters: list[Event] = []
+        # Deques keep put/get O(1) from both ends; ``items`` stays a public
+        # FIFO (oldest first) exactly as the list was.
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
 
     def put(self, item: Any) -> None:
         """Deposit an item, waking the oldest waiting getter if any."""
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self.items.append(item)
 
@@ -163,7 +168,7 @@ class Store:
         """An event that fires with the next available item."""
         ev = Event(self.sim)
         if self.items:
-            ev.succeed(self.items.pop(0))
+            ev.succeed(self.items.popleft())
         else:
             self._getters.append(ev)
         return ev
@@ -186,7 +191,7 @@ class Container:
         self.sim = sim
         self.capacity = capacity
         self.level = init
-        self._takers: list[tuple[float, Event]] = []
+        self._takers: deque[tuple[float, Event]] = deque()
 
     def put(self, amount: float) -> None:
         """Add ``amount`` to the level (clamped at capacity is an error)."""
@@ -212,6 +217,6 @@ class Container:
 
     def _drain(self) -> None:
         while self._takers and self._takers[0][0] <= self.level + 1e-12:
-            amount, ev = self._takers.pop(0)
+            amount, ev = self._takers.popleft()
             self.level -= amount
             ev.succeed()

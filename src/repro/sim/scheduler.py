@@ -1,0 +1,302 @@
+"""Pluggable event-queue backends for the simulation kernel.
+
+Two interchangeable schedulers order the kernel's ``(time, seq, event,
+callback)`` entries.  ``seq`` is globally unique and monotonically
+increasing, so tuple comparison resolves ties FIFO and never reaches the
+event/callback fields — any backend that pops entries in ``(time, seq)``
+order is **byte-identical** to any other, and the determinism tests hold
+both backends to that bar against the traced system.
+
+* :class:`HeapScheduler` — the classic single binary heap.  O(log n)
+  push/pop with tiny constants; the right default for small and mid-size
+  pending sets.
+* :class:`CalendarScheduler` — a calendar queue (Brown 1988): a wheel of
+  time buckets with an auto-resized bucket width.  Pushes append to a
+  future bucket in O(1); only the *current* bucket is kept sorted
+  (descending, so the earliest entry pops off the tail in O(1)), costing
+  one Timsort per rotation instead of O(log n) per pop.  With 10⁵–10⁷
+  pending timers the pending set no longer shows up in per-event cost,
+  which is where the megascale benches live.
+
+Correctness argument for the calendar backend (why pop order matches a
+global heap exactly):
+
+1. The bucket index is ``floor((t - origin) / width)`` clamped into the
+   wheel — a *monotone non-decreasing* function of ``t``.  Two entries in
+   different buckets therefore never have their time order inverted, and
+   equal times always share a bucket.
+2. Within a bucket, entries pop in full-tuple sorted order (the bucket
+   is sorted descending on rotation and drained from the tail), so
+   ``(time, seq)`` ordering (and the FIFO tie-break) is exact — the
+   same total order a heap would produce, ``seq`` uniqueness keeping
+   the comparison from ever reaching the event/callback fields.
+3. Entries at or beyond the wheel horizon wait in an unsorted overflow
+   list; every time in the wheel is strictly below the horizon, so
+   overflow entries can never be due before the wheel drains.
+4. Relayouts (the auto-resize) happen at three trigger points — wheel
+   exhaustion, the pending count outgrowing the bucket count on push,
+   and the pending count collapsing well below it on rotation — and
+   every relayout rebuilds from the *complete* pending set with the same
+   monotone mapping, so relayouts are invisible to pop order.
+
+Pushes are only ever at or after ``sim.now`` (the kernel rejects
+scheduling into the past), so an entry mapping below the current bucket
+can only be a float-boundary artifact; clamping it *up* into the current
+bucket preserves order because everything still pending maps at or above
+the current bucket.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+__all__ = ["HeapScheduler", "CalendarScheduler", "SCHEDULER_BACKENDS"]
+
+#: Entry type shared with the engine: ``(time, seq, event, callback)``.
+Entry = tuple  # (float, int, Any, Any)
+
+_INF = float("inf")
+
+# Wheel sizing bounds: small enough that a relayout re-anchors cheaply,
+# large enough that million-entry pending sets spread to a few entries
+# per bucket.
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 1 << 16
+#: Wheel coverage slack so the max observed time lands inside the wheel
+#: instead of exactly on the horizon.
+_SPAN_SLACK = 1.25
+
+
+class HeapScheduler(list):
+    """A single binary heap of kernel entries.
+
+    Subclasses ``list`` so the engine's inlined drain loop can call the C
+    ``heapq`` functions on the scheduler object directly — the heap *is*
+    the list, exactly as in the pre-backend kernel.
+    """
+
+    kind = "heap"
+
+    def push(self, item: Entry) -> None:
+        heappush(self, item)
+
+    def pop_min(self) -> Entry:
+        return heappop(self)
+
+    def peek_time(self) -> float:
+        """Earliest pending time, or ``inf`` when empty."""
+        return self[0][0] if self else _INF
+
+
+class CalendarScheduler:
+    """Calendar-queue backend: O(1) amortized push, near-O(1) pop.
+
+    The wheel starts tiny and self-sizes on three triggers: the pending
+    count doubling past the bucket count (growth, checked on push), the
+    pending count collapsing far below it (shrink, checked when the wheel
+    rotates), and wheel exhaustion (the next revolution).  Every relayout
+    picks a bucket count near the pending-entry count (power of two,
+    clamped) and a bucket width spreading the observed time span across
+    the wheel — a few entries per bucket regardless of event-rate drift.
+    Relayout cost is O(pending), but the doubling/halving schedule and
+    the revolution cadence amortize it to O(1) per event.
+    """
+
+    kind = "calendar"
+
+    __slots__ = ("_origin", "_width", "_inv_width", "_nbuckets", "_buckets",
+                 "_cur_idx", "_cur", "_horizon", "_overflow", "_n",
+                 "_grow_at", "_shrink_at", "relayouts")
+
+    def __init__(self, width: float = 1.0, nbuckets: int = 32) -> None:
+        if width <= 0.0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        if nbuckets < 1:
+            raise ValueError(f"bucket count must be >= 1, got {nbuckets}")
+        self._origin = 0.0
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._nbuckets = nbuckets
+        self._buckets: list[list[Entry]] = [[] for _ in range(nbuckets)]
+        self._cur_idx = 0
+        #: The current bucket, kept sorted *descending* at all times so the
+        #: earliest entry is ``_cur[-1]`` and pops are ``list.pop()`` — O(1)
+        #: off the tail, no heap discipline.  An empty or single-entry list
+        #: is trivially sorted; rotation sorts each bucket as the wheel
+        #: advances into it.
+        self._cur: list[Entry] = self._buckets[0]
+        self._horizon = self._origin + width * nbuckets
+        self._overflow: list[Entry] = []
+        self._n = 0
+        self._grow_at: float = 2 * nbuckets
+        self._shrink_at: int = 0
+        #: Relayout counter (introspection for tests and tuning).
+        self.relayouts = 0
+
+    # -- size protocol (the engine and observability read these) -------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    # -- core operations ------------------------------------------------------
+
+    def push(self, item: Entry) -> None:
+        t = item[0]
+        n = self._n
+        if not n:
+            # Empty wheel: re-anchor at the pushed time so a long idle gap
+            # never forces a scan across stale empty buckets.
+            self._origin = t
+            self._cur_idx = 0
+            self._cur = self._buckets[0]
+            self._horizon = t + self._width * self._nbuckets
+        elif n >= self._grow_at:
+            self._relayout()
+        self._n = n + 1
+        if t >= self._horizon:
+            self._overflow.append(item)
+            return
+        i = int((t - self._origin) * self._inv_width)
+        if i <= self._cur_idx:
+            # Current bucket (or a float-boundary round-down): insert at
+            # the descending-order position so the tail stays the minimum.
+            cur = self._cur
+            lo, hi = 0, len(cur)
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if item < cur[mid]:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cur.insert(lo, item)
+        elif i >= self._nbuckets:
+            self._buckets[self._nbuckets - 1].append(item)
+        else:
+            self._buckets[i].append(item)
+
+    def pop_min(self) -> Entry:
+        """Remove and return the earliest entry.  Caller checks emptiness."""
+        cur = self._cur
+        if not cur:
+            self._rotate()
+            cur = self._cur
+        self._n -= 1
+        return cur.pop()
+
+    def peek_time(self) -> float:
+        """Earliest pending time, or ``inf`` when empty."""
+        if not self._n:
+            return _INF
+        if not self._cur:
+            self._rotate()
+        return self._cur[-1][0]
+
+    # -- wheel rotation -------------------------------------------------------
+
+    def _rotate(self) -> None:
+        """Advance to the next non-empty bucket (relaying out as needed).
+
+        Precondition: the current bucket is empty and ``_n > 0``.
+        Postcondition: ``_cur`` is non-empty and sorted descending.
+        """
+        if self._n <= self._shrink_at:
+            # The wheel emptied out far below its bucket count; shrinking
+            # now keeps the empty-bucket scan amortized O(1).
+            self._relayout()
+            return
+        buckets = self._buckets
+        for i in range(self._cur_idx + 1, self._nbuckets):
+            b = buckets[i]
+            if b:
+                if len(b) > 1:
+                    b.sort(reverse=True)
+                self._cur_idx = i
+                self._cur = b
+                return
+        # Wheel exhausted: everything pending sits in the overflow; start
+        # the next revolution anchored at the earliest overflow time.
+        items = self._overflow
+        self._overflow = []
+        self._layout(items)
+
+    def _relayout(self) -> None:
+        """Re-spread the complete pending set across a resized wheel."""
+        items = self._overflow
+        self._overflow = []
+        for b in self._buckets:
+            if b:
+                items.extend(b)
+                b.clear()  # the layout may reuse the same bucket lists
+        self._layout(items)
+
+    def _layout(self, items: list[Entry]) -> None:
+        """Anchor and size the wheel for ``items`` (non-empty), place them.
+
+        The earliest entry lands in bucket 0 by construction, so the
+        current bucket is always non-empty after a layout.
+        """
+        self.relayouts += 1
+        lo = hi = items[0][0]
+        for it in items:
+            t = it[0]
+            if t < lo:
+                lo = t
+            elif t > hi:
+                hi = t
+        count = len(items)
+        nbuckets = _MIN_BUCKETS
+        while nbuckets < count and nbuckets < _MAX_BUCKETS:
+            nbuckets <<= 1
+        span = hi - lo
+        if span > 0.0:
+            width = span * _SPAN_SLACK / nbuckets
+            if width > 0.0 and width != _INF:
+                self._width = width
+                self._inv_width = 1.0 / width
+        if nbuckets != self._nbuckets:
+            self._nbuckets = nbuckets
+            self._buckets = [[] for _ in range(nbuckets)]
+            self._grow_at = 2 * nbuckets if nbuckets < _MAX_BUCKETS else _INF
+            self._shrink_at = nbuckets >> 4 if nbuckets > _MIN_BUCKETS else 0
+        self._origin = lo
+        self._horizon = lo + self._width * nbuckets
+        self._cur_idx = 0
+        buckets = self._buckets
+        nb_last = nbuckets - 1
+        inv = self._inv_width
+        horizon = self._horizon
+        overflow = self._overflow
+        for it in items:
+            t = it[0]
+            if t >= horizon:
+                overflow.append(it)
+                continue
+            i = int((t - lo) * inv)
+            buckets[nb_last if i > nb_last else i].append(it)
+        self._cur = buckets[0]
+        if len(self._cur) > 1:
+            self._cur.sort(reverse=True)
+
+    # -- introspection (tests / docs) -----------------------------------------
+
+    @property
+    def bucket_width(self) -> float:
+        return self._width
+
+    @property
+    def bucket_count(self) -> int:
+        return self._nbuckets
+
+    @property
+    def overflow_depth(self) -> int:
+        return len(self._overflow)
+
+
+#: Backend registry consulted by ``Simulator(scheduler=...)``.
+SCHEDULER_BACKENDS: dict[str, type] = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}

@@ -1,5 +1,6 @@
 """Workload generators: streams, hot-spot skew, growth and site traces."""
 
+from .aggregate import FluidStream
 from .checkpoint import CheckpointWorkload
 from .hotspot import HotspotWorkload, ZipfKeyGenerator
 from .streams import (
@@ -11,6 +12,7 @@ from .traces import SiteAccess, multi_site_trace, tenant_growth_traces
 
 __all__ = [
     "CheckpointWorkload",
+    "FluidStream",
     "HotspotWorkload",
     "SequentialStream",
     "SiteAccess",

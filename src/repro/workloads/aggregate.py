@@ -1,0 +1,312 @@
+"""Open-loop fluid aggregated workloads: 10⁵–10⁷ clients as rate flows.
+
+A :class:`FluidStream` models an entire site's client population — the
+paper's hundreds of login/compute nodes multiplied out to megascale — as
+a deterministic fluid arrival process instead of one generator process
+per client.  Closed-loop fleets (:mod:`repro.workloads.streams`) cost
+O(clients) kernel events per period; a fluid stream costs O(1) kernel
+events per *pulse* regardless of population, so the kernel only sees the
+queueing and contention points that actually shape megascale behavior:
+
+* **portal admission** — a token bucket caps the admitted op rate;
+  excess demand accumulates in a fluid backlog and drains later, never
+  as per-client events;
+* **cache miss** — the hit fraction completes at a constant in-cache
+  latency with zero kernel traffic; only the aggregated miss volume
+  becomes a batched read against the backing store;
+* **link/store grant** — each pulse issues at most one aggregated read
+  and one aggregated write through injectable sinks (``nbytes ->
+  Event``), which is where FairShareLink contention, site failures, and
+  WAN replication enter the model.
+
+Ops are carried as floats (a *rate × time* fluid, not discrete tokens),
+so conservation holds exactly at any scale::
+
+    ops_offered == ops_admitted + backlog_ops
+    ops_admitted == ops_hit + ops_completed_via_transfers
+                    + ops_failed + ops_inflight (+ sub-byte remainder)
+
+Validity envelope (see ``docs/performance.md``): fluid aggregation is
+exact for rates and conserved volumes and a good latency approximation
+whenever clients are statistically exchangeable and no single client op
+is a meaningful fraction of a pulse.  It cannot express per-client state
+(individual cache residency, per-client retry storms); use the
+closed-loop fleet when those matter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.stats import Tally
+
+if TYPE_CHECKING:  # pragma: no cover
+    import random
+
+    from ..sim.engine import Simulator
+    from ..sim.events import Event
+
+__all__ = ["FluidStream"]
+
+#: Below this many ops a pulse's read/write share is carried forward as
+#: part of the float accumulators rather than issuing a transfer.
+_EPS_OPS = 1e-9
+
+
+class FluidStream:
+    """One site's aggregated open-loop client stream.
+
+    ``read_sink`` / ``write_sink`` are the contention points: callables
+    taking a byte count and returning a kernel :class:`Event` (e.g.
+    ``site.store_read`` / ``site.store_write`` or a GeoReplicator
+    write).  A failed sink event (an injected fault such as a site loss)
+    marks that pulse's aggregated ops failed; the stream keeps pulsing
+    and recovers when the sink does — exactly how an open-loop client
+    population behaves through an outage.
+
+    Parameters
+    ----------
+    clients, ops_per_client_s:
+        Population size and per-client op rate; only their product (the
+        offered rate) enters the fluid dynamics, so 10⁷ clients cost the
+        same as 10.
+    read_fraction, hit_ratio:
+        Share of admitted ops that are reads, and the share of reads
+        served from cache at ``hit_latency_s`` with no kernel traffic.
+    pulse_s:
+        Accounting quantum.  One deferred kernel call plus at most two
+        aggregated transfers per pulse, regardless of ``clients``.
+    admit_ops_s, admit_burst_s:
+        Portal admission token bucket: sustained rate and burst depth
+        (seconds of sustained rate).  ``None`` admits everything.
+    rng, arrival_cv:
+        Optional seeded :class:`random.Random` modulating each pulse's
+        offered volume by ``max(0, gauss(1, arrival_cv))`` — demand
+        noise that stays deterministic for a fixed seed.
+    """
+
+    def __init__(self, sim: "Simulator", *,
+                 clients: int,
+                 ops_per_client_s: float,
+                 op_bytes: int,
+                 read_sink: Callable[[int], "Event"],
+                 write_sink: Callable[[int], "Event"],
+                 read_fraction: float = 0.7,
+                 hit_ratio: float = 0.9,
+                 pulse_s: float = 1.0,
+                 admit_ops_s: float | None = None,
+                 admit_burst_s: float = 2.0,
+                 hit_latency_s: float = 0.0005,
+                 arrival_cv: float = 0.0,
+                 rng: "random.Random | None" = None,
+                 name: str = "fluid") -> None:
+        if clients < 0:
+            raise ValueError(f"clients must be >= 0, got {clients}")
+        if ops_per_client_s < 0:
+            raise ValueError(
+                f"ops_per_client_s must be >= 0, got {ops_per_client_s}")
+        if op_bytes <= 0:
+            raise ValueError(f"op_bytes must be > 0, got {op_bytes}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {read_fraction}")
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ValueError(f"hit_ratio must be in [0, 1], got {hit_ratio}")
+        if pulse_s <= 0:
+            raise ValueError(f"pulse_s must be > 0, got {pulse_s}")
+        if admit_ops_s is not None and admit_ops_s <= 0:
+            raise ValueError(
+                f"admit_ops_s must be > 0 (or None), got {admit_ops_s}")
+        if admit_burst_s < 0:
+            raise ValueError(
+                f"admit_burst_s must be >= 0, got {admit_burst_s}")
+        if arrival_cv < 0:
+            raise ValueError(f"arrival_cv must be >= 0, got {arrival_cv}")
+        self.sim = sim
+        self.name = name
+        self.clients = clients
+        self.ops_per_client_s = ops_per_client_s
+        self.op_bytes = op_bytes
+        self.read_fraction = read_fraction
+        self.hit_ratio = hit_ratio
+        self.pulse_s = pulse_s
+        self.admit_ops_s = admit_ops_s
+        self.hit_latency_s = hit_latency_s
+        self.arrival_cv = arrival_cv
+        self._read_sink = read_sink
+        self._write_sink = write_sink
+        self._rng = rng
+        self._burst_ops = (admit_ops_s or 0.0) * admit_burst_s
+        self._tokens = self._burst_ops
+        # -- fluid state and conserved accumulators (ops are floats) ----------
+        self.backlog_ops = 0.0
+        self.peak_backlog_ops = 0.0
+        self.ops_offered = 0.0
+        self.ops_admitted = 0.0
+        self.ops_hit = 0.0
+        self.ops_completed = 0.0
+        self.ops_failed = 0.0
+        self.ops_inflight = 0.0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.transfers_issued = 0
+        self.transfers_failed = 0
+        self.pulses = 0
+        #: Completion latency of each aggregated transfer (pulse → sink done).
+        self.transfer_latency = Tally()
+        self._backlog_area = 0.0
+        self._started = False
+        self._t0 = 0.0
+        self._last = 0.0
+        self._next_k = 1
+        self._until = 0.0
+
+    # -- derived rates ---------------------------------------------------------
+
+    @property
+    def offered_ops_s(self) -> float:
+        """Sustained offered rate (before admission and demand noise)."""
+        return self.clients * self.ops_per_client_s
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, until: float) -> "FluidStream":
+        """Begin pulsing now and stop at ``until`` (a final, possibly
+        partial pulse lands exactly on the stop time so conserved volumes
+        cover the whole interval)."""
+        if self._started:
+            raise RuntimeError(f"fluid stream {self.name!r} already started")
+        if until <= self.sim.now:
+            raise ValueError(
+                f"until={until} must be after now={self.sim.now}")
+        self._started = True
+        self._t0 = self._last = self.sim.now
+        self._until = until
+        self._next_k = 1
+        self._arm()
+        return self
+
+    def _arm(self) -> None:
+        target = self._t0 + self._next_k * self.pulse_s
+        if target >= self._until:
+            target = self._until
+        if target <= self._last + 1e-12:
+            return
+        self.sim.call_at(target, self._pulse)
+
+    def _pulse(self) -> None:
+        now = self.sim.now
+        dt = now - self._last
+        self._last = now
+        self._next_k += 1
+        self.pulses += 1
+        noise = 1.0
+        if self._rng is not None and self.arrival_cv > 0.0:
+            noise = self._rng.gauss(1.0, self.arrival_cv)
+            if noise < 0.0:
+                noise = 0.0
+        offered = self.offered_ops_s * dt * noise
+        self.ops_offered += offered
+        demand = self.backlog_ops + offered
+        if self.admit_ops_s is None:
+            admitted = demand
+        else:
+            tokens = self._tokens + self.admit_ops_s * dt
+            if tokens > self._burst_ops:
+                tokens = self._burst_ops
+            admitted = demand if demand <= tokens else tokens
+            self._tokens = tokens - admitted
+        self.backlog_ops = demand - admitted
+        if self.backlog_ops > self.peak_backlog_ops:
+            self.peak_backlog_ops = self.backlog_ops
+        self._backlog_area += self.backlog_ops * dt
+        self.ops_admitted += admitted
+        reads = admitted * self.read_fraction
+        writes = admitted - reads
+        hits = reads * self.hit_ratio
+        misses = reads - hits
+        if hits > 0.0:
+            # Served in cache at constant latency: pure accounting, no
+            # kernel events — this is the whole point of the fluid model.
+            self.ops_hit += hits
+            self.ops_completed += hits
+        if misses > _EPS_OPS:
+            self._issue(self._read_sink, misses, reading=True)
+        if writes > _EPS_OPS:
+            self._issue(self._write_sink, writes, reading=False)
+        self._arm()
+
+    def _issue(self, sink: Callable[[int], "Event"], ops: float,
+               reading: bool) -> None:
+        nbytes = int(round(ops * self.op_bytes))
+        if nbytes <= 0:
+            # Sub-byte volume: complete it without bothering the kernel.
+            self.ops_completed += ops
+            return
+        t_issue = self.sim.now
+        self.transfers_issued += 1
+        self.ops_inflight += ops
+        ev = sink(nbytes)
+        ev.add_callback(
+            lambda ev, ops=ops, nbytes=nbytes, t_issue=t_issue,
+            reading=reading: self._on_done(ev, ops, nbytes, t_issue, reading))
+
+    def _on_done(self, ev: "Event", ops: float, nbytes: int,
+                 t_issue: float, reading: bool) -> None:
+        self.ops_inflight -= ops
+        if ev.ok:
+            self.ops_completed += ops
+            self.transfer_latency.record(self.sim.now - t_issue)
+            if reading:
+                self.bytes_read += nbytes
+            else:
+                self.bytes_written += nbytes
+        else:
+            self.ops_failed += ops
+            self.transfers_failed += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def mean_queue_delay_s(self) -> float:
+        """Little's-law estimate of the portal admission wait: backlog
+        time-integral over admitted throughput."""
+        if self.ops_admitted <= 0.0:
+            return 0.0
+        elapsed = self._last - self._t0
+        if elapsed <= 0.0:
+            return 0.0
+        return self._backlog_area / self.ops_admitted
+
+    def mean_latency_s(self) -> float:
+        """Op-weighted mean latency across hits, transfers, and the
+        admission backlog wait."""
+        done = self.ops_completed
+        if done <= 0.0:
+            return 0.0
+        transfer_ops = done - self.ops_hit
+        weighted = (self.ops_hit * self.hit_latency_s
+                    + transfer_ops * self.transfer_latency.mean())
+        return weighted / done + self.mean_queue_delay_s()
+
+    def summary(self) -> dict:
+        """A deterministic, JSON-ready digest (rounded so fingerprints
+        are stable across accumulation orders)."""
+        return {
+            "name": self.name,
+            "clients": self.clients,
+            "pulses": self.pulses,
+            "ops_offered": round(self.ops_offered, 3),
+            "ops_admitted": round(self.ops_admitted, 3),
+            "ops_hit": round(self.ops_hit, 3),
+            "ops_completed": round(self.ops_completed, 3),
+            "ops_failed": round(self.ops_failed, 3),
+            "ops_inflight": round(self.ops_inflight, 3),
+            "backlog_ops": round(self.backlog_ops, 3),
+            "peak_backlog_ops": round(self.peak_backlog_ops, 3),
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "transfers_issued": self.transfers_issued,
+            "transfers_failed": self.transfers_failed,
+            "mean_queue_delay_s": round(self.mean_queue_delay_s(), 6),
+            "mean_latency_s": round(self.mean_latency_s(), 6),
+        }

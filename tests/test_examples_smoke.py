@@ -66,10 +66,17 @@ def test_telemetry_dashboard():
     assert 'netstorage_slo_alerts_active{slo="blades-up"} 2' in out
 
 
+def test_megascale_site():
+    out = run_example("megascale_site.py")
+    assert "2,500,000 modeled clients" in out
+    assert "telemetry dashboard" in out
+    assert "identical — the calendar queue changed the wall clock" in out
+
+
 @pytest.mark.parametrize("name", [p.name for p in EXAMPLES.glob("*.py")])
 def test_every_example_has_a_smoke_test(name):
     covered = {"quickstart.py", "supercomputer_feed.py",
                "national_lab_grid.py", "multi_tenant_lab.py",
                "disaster_recovery.py", "automated_operations.py",
-               "telemetry_dashboard.py"}
+               "telemetry_dashboard.py", "megascale_site.py"}
     assert name in covered, f"example {name} lacks a smoke test"

@@ -1,0 +1,205 @@
+"""Scheduler-backend invariants: the calendar queue must be invisible.
+
+``Simulator(scheduler="calendar")`` swaps the kernel's event queue from a
+binary heap to a calendar queue.  The backend is performance plumbing
+only — the contract here is that (1) pop order is *identical* to the
+heap on every shape we can throw at it, including a full traced system
+across pooling and observability combinations, (2) the wheel's internal
+machinery (relayouts, overflow) engages when it should, and (3) the
+backend is fixed at construction with clear errors on any attempt to
+switch mid-run.
+"""
+
+import random
+from heapq import heappop, heappush
+
+import pytest
+
+from repro import NetStorageSystem, Simulator, SystemConfig
+from repro.sim import (
+    SCHEDULER_BACKENDS,
+    CalendarScheduler,
+    HeapScheduler,
+    SimulationError,
+)
+from repro.sim.units import mib
+
+
+# ---------------------------------------------------------------------------
+# Differential order identity against the heap
+# ---------------------------------------------------------------------------
+
+
+def _drain_both(entries):
+    """Push the same entries into both backends; pop order must be
+    *identity*-equal (the calendar returns the very same tuples)."""
+    heap = HeapScheduler()
+    cal = CalendarScheduler()
+    for e in entries:
+        heap.push(e)
+        cal.push(e)
+    assert len(cal) == len(heap) == len(entries)
+    out = []
+    while heap:
+        h = heap.pop_min()
+        c = cal.pop_min()
+        assert c is h
+        out.append(h)
+    assert not cal
+    return out
+
+
+def test_calendar_matches_heap_on_random_workloads():
+    rng = random.Random(20260809)
+    for trial in range(60):
+        n = rng.randrange(1, 400)
+        entries = [(round(rng.uniform(0, rng.choice([1e-3, 1.0, 1e4])), 6),
+                    seq, None, None) for seq in range(n)]
+        rng.shuffle(entries)
+        _drain_both(entries)
+
+
+def test_calendar_fifo_tie_break_exact():
+    # Many entries at the same instant: seq (insertion order) decides.
+    entries = [(5.0, seq, None, None) for seq in range(500)]
+    out = _drain_both(entries)
+    assert [e[1] for e in out] == list(range(500))
+
+
+def test_calendar_interleaved_push_pop_matches_heap():
+    rng = random.Random(7)
+    heap, cal = HeapScheduler(), CalendarScheduler()
+    now, seq = 0.0, 0
+    for _ in range(5_000):
+        if heap and rng.random() < 0.45:
+            h, c = heap.pop_min(), cal.pop_min()
+            assert c is h
+            now = h[0]
+        else:
+            # Kernel invariant: never schedule into the past.
+            e = (now + rng.choice([0.0, 1e-9, 0.3, 7.0, 4000.0])
+                 * rng.random(), seq, None, None)
+            seq += 1
+            heap.push(e)
+            cal.push(e)
+    while heap:
+        assert cal.pop_min() is heap.pop_min()
+
+
+# ---------------------------------------------------------------------------
+# Wheel internals: resize triggers and overflow
+# ---------------------------------------------------------------------------
+
+
+def test_calendar_growth_relayout_triggers_on_push():
+    cal = CalendarScheduler(width=1.0, nbuckets=8)
+    for seq in range(64):
+        cal.push((seq * 0.25, seq, None, None))
+    assert cal.relayouts >= 1
+    assert cal.bucket_count > 8
+
+
+def test_calendar_shrink_relayout_triggers_on_drain():
+    cal = CalendarScheduler()
+    n = 3_000
+    for seq in range(n):
+        cal.push((seq * 0.01, seq, None, None))
+    grown = cal.bucket_count
+    assert grown >= 1024
+    for _ in range(n - 2):
+        cal.pop_min()
+    assert cal.bucket_count < grown  # shrink fired while draining
+    assert [cal.pop_min()[1] for _ in range(2)] == [n - 2, n - 1]
+
+
+def test_calendar_far_future_entries_wait_in_overflow():
+    cal = CalendarScheduler(width=1.0, nbuckets=8)
+    cal.push((0.0, 0, None, None))
+    cal.push((1e9, 1, None, None))  # far beyond the wheel horizon
+    assert cal.overflow_depth == 1
+    assert cal.pop_min()[1] == 0
+    assert cal.pop_min()[1] == 1  # next revolution re-anchors on overflow
+    assert not cal
+
+
+def test_calendar_empty_reanchors_after_idle_gap():
+    cal = CalendarScheduler()
+    cal.push((2.0, 0, None, None))
+    cal.pop_min()
+    # A push far in the future after going idle must not scan stale
+    # buckets: the wheel re-anchors at the new time.
+    cal.push((1e6, 1, None, None))
+    assert cal.peek_time() == 1e6
+    assert cal.pop_min()[1] == 1
+
+
+def test_scheduler_constructor_validation():
+    with pytest.raises(ValueError):
+        CalendarScheduler(width=0.0)
+    with pytest.raises(ValueError):
+        CalendarScheduler(nbuckets=0)
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: byte-identical traces, backend selection errors
+# ---------------------------------------------------------------------------
+
+
+def _system_trace(scheduler: str, pooling: bool, obs: bool,
+                  seed: int = 11) -> str:
+    sim = Simulator(pooling=pooling, scheduler=scheduler)
+    system = NetStorageSystem(sim, SystemConfig(
+        blade_count=4, disk_count=16, disk_capacity=mib(512),
+        seed=seed, observability=obs))
+    system.start()
+    system.create("/projects/results.h5")
+    system.create("/scratch/tmp")
+
+    def client():
+        yield system.write("/projects/results.h5", 0, mib(2))
+        yield system.read("/projects/results.h5", 0, mib(2))
+        yield system.write("/scratch/tmp", 0, mib(1))
+        yield system.read("/scratch/tmp", 0, mib(1))
+
+    sim.process(client())
+    sim.run(until=30.0)
+    if not obs:
+        return f"{sim.now}:{sim.events_processed}"
+    return system.trace_json()
+
+
+@pytest.mark.parametrize("pooling", [True, False])
+@pytest.mark.parametrize("obs", [True, False])
+def test_backend_traces_byte_identical(pooling, obs):
+    # The tentpole determinism bar: with observability the full event
+    # trace must match byte for byte; without it, the clock and event
+    # count (the only observables) must match.
+    assert _system_trace("heap", pooling, obs) == \
+        _system_trace("calendar", pooling, obs)
+
+
+def test_unknown_backend_is_a_clear_error():
+    with pytest.raises(SimulationError, match="unknown scheduler backend"):
+        Simulator(scheduler="splay-tree")
+
+
+def test_backend_registry_names():
+    assert set(SCHEDULER_BACKENDS) == {"heap", "calendar"}
+    assert Simulator().scheduler == "heap"
+    assert Simulator(scheduler="calendar").scheduler == "calendar"
+
+
+def test_switching_backend_mid_run_raises():
+    sim = Simulator(scheduler="calendar")
+    with pytest.raises(SimulationError, match="fixed at construction"):
+        sim.scheduler = "heap"
+
+
+def test_swapped_queue_object_detected_at_run():
+    # Even a forcible queue replacement (bypassing the property) is
+    # caught by the run-entry assertion, naming both kinds.
+    sim = Simulator(scheduler="calendar")
+    sim.timeout(1.0)
+    sim._queue = HeapScheduler()
+    with pytest.raises(SimulationError, match="heap"):
+        sim.run()
