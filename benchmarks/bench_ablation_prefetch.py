@@ -24,9 +24,13 @@ def run_depth(depth: int) -> tuple[float, float]:
     home = net.add_site(Site(sim, "home", (0.0, 0.0)))
     far = net.add_site(Site(sim, "far", (0.0, 3000.0)))
     net.connect(home, far, bandwidth=gbps(1.0))
+    # selection="static" keeps the cost model's WAN-pain migration trigger
+    # out of the sweep — this ablation isolates prefetch depth, so every
+    # block must keep paying the WAN at depth 0 (see docs/replica_selection.md).
     dam = DistributedAccessManager(sim, net, block_size=BLOCK,
                                    auto_replicate_threshold=10**9,
-                                   prefetch_depth=max(depth, 1))
+                                   prefetch_depth=max(depth, 1),
+                                   selection="static")
     if depth == 0:
         dam.prefetch_depth = 0  # detector runs but stages nothing
     dam.register("/seq", FILE_BLOCKS * BLOCK, home)

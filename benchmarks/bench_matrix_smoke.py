@@ -1,7 +1,8 @@
 """The scenario-matrix CI gate: one JSON sweep, no per-scenario Python.
 
-``matrix_smoke.json`` declares a 12-cell sweep (1–3 sites × replication
-2–3 × fault campaign on/off); this gate expands it through
+``matrix_smoke.json`` declares a 24-cell sweep (1–3 sites × replication
+2–3 × replica selection static/cost × fault campaign on/off); this gate
+expands it through
 :class:`repro.plan.MatrixSpec`, runs every cell through the parallel
 replication runner, and asserts:
 
@@ -43,8 +44,8 @@ def run_gate(max_workers: int | None = None):
     problems: list[str] = []
     matrix = load_matrix()
     specs = matrix.expand()
-    if len(specs) < 12:
-        problems.append(f"matrix expanded to {len(specs)} cells, need >= 12")
+    if len(specs) < 24:
+        problems.append(f"matrix expanded to {len(specs)} cells, need >= 24")
     results = run_matrix(matrix, max_workers=max_workers)
     for spec, result in zip(specs, results):
         if result.name != spec.name:
@@ -102,7 +103,7 @@ def test_matrix_smoke_gate(benchmark):
     from _common import run_one
     results, problems = run_one(benchmark, run_gate)
     assert not problems, problems
-    assert len(results) >= 12
+    assert len(results) >= 24
 
 
 if __name__ == "__main__":

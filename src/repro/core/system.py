@@ -434,6 +434,12 @@ class NetStorageSystem:
 
     # -- membership plumbing ----------------------------------------------------------------
 
+    @property
+    def blades_down(self) -> int:
+        """Controller blades currently failed — the management plane's
+        degraded-capacity signal (feeds e.g. geo replica-selection load)."""
+        return len(self._failed_blades)
+
     def _on_blade_state(self, blade: ControllerBlade) -> None:
         from ..hardware.blade import BladeState
         if blade.state is BladeState.FAILED:

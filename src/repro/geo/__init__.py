@@ -4,11 +4,15 @@ from .dr import DisasterRecoveryCoordinator, RecoveryReport
 from .metacenter import MetadataCenter
 from .migration import DistributedAccessManager, FileResidency
 from .replication import GeoFile, GeoReplicator
+from .selection import (SELECTION_POLICIES, CostModelSelector, RandomSelector,
+                        ReplicaCatalog, ReplicaSelector, RouteHistory,
+                        StaticSelector, make_selector)
 from .site import Site, SiteFailedError
 from .snapship import SnapshotShippingReplicator, snapshot_delta_pages
 from .wan import NoRouteError, WanLink, WanNetwork
 
 __all__ = [
+    "CostModelSelector",
     "DisasterRecoveryCoordinator",
     "DistributedAccessManager",
     "FileResidency",
@@ -16,11 +20,18 @@ __all__ = [
     "GeoReplicator",
     "MetadataCenter",
     "NoRouteError",
+    "RandomSelector",
     "RecoveryReport",
+    "ReplicaCatalog",
+    "ReplicaSelector",
+    "RouteHistory",
+    "SELECTION_POLICIES",
     "Site",
     "SiteFailedError",
     "SnapshotShippingReplicator",
+    "StaticSelector",
     "WanLink",
     "WanNetwork",
+    "make_selector",
     "snapshot_delta_pages",
 ]

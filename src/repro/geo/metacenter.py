@@ -29,6 +29,7 @@ from ..sim.units import gbps
 from .dr import DisasterRecoveryCoordinator, RecoveryReport
 from .migration import DistributedAccessManager
 from .replication import GeoReplicator
+from .selection import CostModelSelector, make_selector
 from .site import Site
 from .wan import WanNetwork
 
@@ -73,7 +74,9 @@ class MetadataCenter:
     def __init__(self, sim: "Simulator",
                  site_specs: Sequence[SiteSpec] | Mapping[str, tuple],
                  config: SystemConfig | None = None,
-                 block_size_wan: int = 1024 * 1024) -> None:
+                 block_size_wan: int = 1024 * 1024,
+                 selection: str = "cost",
+                 selection_seed: int = 0) -> None:
         specs = _coerce_site_specs(site_specs)
         if len(specs) < 2:
             raise ValueError("a metadata center needs at least two sites")
@@ -93,8 +96,21 @@ class MetadataCenter:
             self.network.add_site(site)
             self.systems[spec.name] = system
         self.replicator = GeoReplicator(sim, self.network)
+        self.selection = selection
+        if selection == "cost":
+            # The cost model's site-load signal includes degraded capacity
+            # straight from each site's management plane (blades down).
+            selector = CostModelSelector(
+                self.network, site_load_fn=self._blades_down)
+        else:
+            selector = make_selector(selection, self.network,
+                                     seed=selection_seed)
         self.access = DistributedAccessManager(sim, self.network,
-                                               block_size=block_size_wan)
+                                               block_size=block_size_wan,
+                                               selection=selector)
+        # Keep the residency catalog current: replicas that finish *after*
+        # a file's first access immediately become read candidates.
+        self.access.catalog.bind_replicator(self.replicator)
         self.dr = DisasterRecoveryCoordinator(sim, self.network,
                                               self.replicator)
         self._homes: dict[str, str] = {}
@@ -107,6 +123,11 @@ class MetadataCenter:
                     # WAN payload verification accounts on the first
                     # integrity-enabled site's ledger.
                     self.replicator.integrity = system.integrity
+
+    def _blades_down(self, site_name: str) -> float:
+        """Degraded capacity at a site, for the selector's load signal."""
+        system = self.systems.get(site_name)
+        return float(system.blades_down) if system is not None else 0.0
 
     def _make_geo_repair(self, site_name: str):
         """The geo tier's fetch hook for one site: pull ``nbytes`` from
@@ -238,9 +259,14 @@ class MetadataCenter:
             done.fail(KeyError(f"unknown file {path!r}"))
             return
         if path not in self.access.files:
-            size = max(self.systems[gf.home].pfs.open(path).size, nbytes, 1)
+            # Register the file's *true* size (not inflated by an
+            # overshooting first read — that used to pin a too-large
+            # block_count forever, defeating ``fully_resident_at`` and
+            # re-triggering background replication on every access).
+            size = max(self.systems[gf.home].pfs.open(path).size, 1)
             self.access.register(path, size, self.network.sites[gf.home])
-            # Replica sites already hold full copies.
+            # Replica sites already hold full copies; later completions
+            # arrive through the catalog's on_copy_complete subscription.
             fr = self.access.files[path]
             for copy_site in gf.copies:
                 fr.resident[copy_site] = set(range(fr.block_count))
@@ -284,6 +310,13 @@ class MetadataCenter:
         out["files"] = float(len(self.replicator.files))
         out["wan.replication_bytes"] = self.replicator.metrics.rate(
             "wan.replication_bytes").total
+        if self.selection != "static":
+            out["select.policy_cost"] = float(self.selection == "cost")
+            out["select.rerouted"] = float(
+                self.access.metrics.counter("select.rerouted").value)
+            history = getattr(self.access.selector, "history", None)
+            if history is not None:
+                out["select.route_samples"] = float(history.samples)
         return out
 
 

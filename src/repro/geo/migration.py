@@ -7,6 +7,14 @@ within the file would be prefetched, allowing local access performance.
 The system would recognize files that are commonly accessed at multiple
 locations and automatically replicate copies of the underlying data
 blocks to ensure fast access."
+
+Where a remote block comes *from* is a pluggable
+:class:`~repro.geo.selection.ReplicaSelector`: the default is the
+history-driven :class:`~repro.geo.selection.CostModelSelector` (observed
+WAN throughput EWMAs + site load + staleness), with ``static`` (the
+original fibre-distance sort) and ``random`` available for A/B runs.
+Holder candidates are tried in ranked order, so a candidate cut off by a
+WAN partition falls through to the next one instead of failing the read.
 """
 
 from __future__ import annotations
@@ -17,8 +25,9 @@ from typing import TYPE_CHECKING
 from ..sim.events import Event
 from ..sim.faults import FAULT_EXCEPTIONS
 from ..sim.stats import MetricSet
+from .selection import ReplicaCatalog, ReplicaSelector, make_selector
 from .site import Site
-from .wan import WanNetwork
+from .wan import NoRouteError, WanNetwork
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Simulator
@@ -27,13 +36,15 @@ if TYPE_CHECKING:  # pragma: no cover
 class FileResidency:
     """Which sites hold which blocks of one file."""
 
-    __slots__ = ("path", "block_size", "block_count", "resident", "access_counts")
+    __slots__ = ("path", "block_size", "block_count", "home", "resident",
+                 "access_counts")
 
     def __init__(self, path: str, size: int, block_size: int,
                  home: str) -> None:
         self.path = path
         self.block_size = block_size
         self.block_count = max(1, -(-size // block_size))
+        self.home = home
         #: site -> set of resident block indices
         self.resident: dict[str, set[int]] = {
             home: set(range(self.block_count))}
@@ -50,12 +61,21 @@ class FileResidency:
 
 
 class DistributedAccessManager:
-    """Serves block reads anywhere, migrating data toward its users."""
+    """Serves block reads anywhere, migrating data toward its users.
+
+    ``selection`` is a policy name (``static | random | cost``) or a
+    ready :class:`~repro.geo.selection.ReplicaSelector`; the selector
+    shares this manager's :class:`~repro.geo.selection.ReplicaCatalog`,
+    which carries residency, freshness, and the access history the §7.1
+    migration/eviction decisions run on.
+    """
 
     def __init__(self, sim: "Simulator", network: WanNetwork,
                  block_size: int = 1024 * 1024,
                  auto_replicate_threshold: int = 3,
-                 prefetch_depth: int = 8) -> None:
+                 prefetch_depth: int = 8,
+                 selection: "str | ReplicaSelector" = "cost",
+                 selection_seed: int = 0) -> None:
         if auto_replicate_threshold < 1:
             raise ValueError("auto_replicate_threshold must be >= 1")
         self.sim = sim
@@ -65,6 +85,17 @@ class DistributedAccessManager:
         self.prefetch_depth = prefetch_depth
         self.files: dict[str, FileResidency] = {}
         self.metrics = MetricSet(sim)
+        self.catalog = ReplicaCatalog(access=self)
+        if isinstance(selection, ReplicaSelector):
+            self.selector = selection
+            if self.selector.catalog is not self.catalog:
+                # One catalog serves both: adopt the selector's.
+                self.catalog = self.selector.catalog
+                self.catalog.access = self
+        else:
+            self.selector = make_selector(selection, network,
+                                          catalog=self.catalog,
+                                          seed=selection_seed)
 
     def register(self, path: str, size: int, home: Site) -> FileResidency:
         """Track a file's residency, initially complete at its home site."""
@@ -89,15 +120,33 @@ class DistributedAccessManager:
             return
         fr.access_counts[at.name] += 1
         local = fr.resident.setdefault(at.name, set())
+        started = self.sim.now
+        source: Site | None = None
         try:
             if block in local:
                 yield at.store_read(self.block_size)
                 self.metrics.counter("read.local").incr()
+                self.catalog.record_read(path, at.name, local=True)
                 done.succeed("local")
                 return
-            # Remote first touch: fetch the block from the nearest holder...
-            source = self._nearest_holder(fr, block, at)
-            yield self.network.transfer(source, at, self.block_size)
+            # Remote first touch: fetch the block from the best-ranked
+            # reachable holder; a partitioned candidate (NoRouteError
+            # before any bytes move) falls through to the next one.
+            no_route: NoRouteError | None = None
+            for candidate in self.selector.rank(fr, block, at,
+                                                self.block_size):
+                try:
+                    yield self.network.transfer(candidate, at,
+                                                self.block_size)
+                except NoRouteError as exc:
+                    no_route = exc
+                    self.metrics.counter("select.rerouted").incr()
+                    continue
+                source = candidate
+                break
+            if source is None:
+                raise (no_route if no_route is not None else LookupError(
+                    f"no surviving copy of {fr.path!r}[{block}]"))
             yield at.store_write(self.block_size)
         except FAULT_EXCEPTIONS + (LookupError,) as exc:
             # Process boundary: a site/link fault mid-read (or no surviving
@@ -106,22 +155,30 @@ class DistributedAccessManager:
             return
         local.add(block)
         self.metrics.counter("read.remote").incr()
+        wan_seconds = self.sim.now - started
+        self.catalog.record_read(path, at.name, local=False,
+                                 wan_seconds=wan_seconds,
+                                 wan_bytes=self.block_size)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.series.series("geo.select.wan_cost_s",
+                              site=at.name).record(wan_seconds)
         # ...and prefetch the following blocks in the background (§7.1).
         self._background_prefetch(fr, block + 1, source, at)
-        # Hot at multiple sites? Auto-replicate the whole file here.
-        if fr.access_counts[at.name] >= self.auto_replicate_threshold \
+        # Hot here by access count — or, under the cost model, by the WAN
+        # cost this site keeps paying?  Auto-replicate the whole file.
+        if self.selector.should_replicate(fr, at.name,
+                                          self.auto_replicate_threshold) \
                 and not fr.fully_resident_at(at.name):
             self._background_replicate(fr, source, at)
         done.succeed("remote")
 
     def _nearest_holder(self, fr: FileResidency, block: int, at: Site) -> Site:
-        holders = [self.network.sites[name]
-                   for name in fr.holders_of(block)
-                   if not self.network.sites[name].failed]
-        if not holders:
+        """Back-compat point lookup: the selector's top-ranked candidate."""
+        ranked = self.selector.rank(fr, block, at, self.block_size)
+        if not ranked:
             raise LookupError(f"no surviving copy of {fr.path!r}[{block}]")
-        holders.sort(key=lambda s: (at.distance_to(s), s.name))
-        return holders[0]
+        return ranked[0]
 
     # -- background movement ----------------------------------------------------------------
 
@@ -182,8 +239,26 @@ class DistributedAccessManager:
                 for b in range(fr.block_count):
                     if b in local:
                         continue
-                    source = self._nearest_holder(fr, b, at)
-                    yield self.network.transfer(source, at, self.block_size)
+                    # Ranked candidates with no-route fallback, same as
+                    # the read path: a partitioned first choice degrades
+                    # to the next holder, not a failed pin.
+                    fetched = False
+                    no_route: NoRouteError | None = None
+                    for source in self.selector.rank(fr, b, at,
+                                                     self.block_size):
+                        try:
+                            yield self.network.transfer(source, at,
+                                                        self.block_size)
+                        except NoRouteError as exc:
+                            no_route = exc
+                            self.metrics.counter("select.rerouted").incr()
+                            continue
+                        fetched = True
+                        break
+                    if not fetched:
+                        raise (no_route if no_route is not None
+                               else LookupError(
+                                   f"no surviving copy of {path!r}[{b}]"))
                     yield at.store_write(self.block_size)
                     local.add(b)
             except FAULT_EXCEPTIONS + (LookupError,) as exc:
@@ -200,3 +275,21 @@ class DistributedAccessManager:
         if len([s for s, blocks in fr.resident.items() if blocks]) <= 1:
             raise ValueError(f"refusing to evict the last copy of {path!r}")
         fr.resident.pop(at.name, None)
+        self.catalog.note_replica_evicted(path, at.name)
+        self.metrics.counter("evict.replicas").incr()
+
+    def rebalance(self, path: str) -> list[str]:
+        """§7.1 access-driven eviction: drop full replicas whose access
+        share no longer earns their bytes (per the selector's read of the
+        catalog history).  The home copy and the last copy are never
+        dropped.  Returns the sites evicted."""
+        fr = self.files[path]
+        evicted: list[str] = []
+        for site in self.selector.eviction_candidates(fr):
+            if len([s for s, blocks in fr.resident.items() if blocks]) <= 1:
+                break
+            if site == fr.home:
+                continue
+            self.evict_replica(path, self.network.sites[site])
+            evicted.append(site)
+        return evicted

@@ -63,6 +63,13 @@ class GeoReplicator:
         #: bytes acked at the source but not yet at (path, target_site)
         self.async_backlog: dict[tuple[str, str], int] = defaultdict(int)
         self.metrics = MetricSet(sim)
+        #: Called as ``fn(path, site_name)`` whenever a site *newly*
+        #: gains a complete, current copy (sync replication ack or an
+        #: async backlog fully drained).  The metacenter's replica
+        #: catalog subscribes here so holder selection sees replicas
+        #: completed after a file's first access (the stale-residency
+        #: fix); notification is synchronous bookkeeping, no events.
+        self.on_copy_complete: list = []
         self._pump_running: set[str] = set()
         #: Backlog per target above which the event log gets a WARNING
         #: (replication lag = the RPO exposure the operator must watch).
@@ -105,6 +112,17 @@ class GeoReplicator:
             return []
         return self.network.neighbors_by_distance(
             origin, policy.min_distance_km)[:policy.replication_sites]
+
+    def _note_copy_complete(self, gf: GeoFile, site_name: str) -> None:
+        """Record a current copy at a site and notify subscribers.
+
+        Fires the hooks even when the site was already listed (an async
+        target catching up *again* after more writes): receivers are
+        idempotent, and a replica evicted elsewhere may need re-marking.
+        """
+        gf.copies.add(site_name)
+        for fn in self.on_copy_complete:
+            fn(gf.path, site_name)
 
     # -- outage accounting (edge-triggered) ---------------------------------------------
 
@@ -225,7 +243,7 @@ class GeoReplicator:
                     done.fail(exc)
                     return
                 for target in targets:
-                    gf.copies.add(target.name)
+                    self._note_copy_complete(gf, target.name)
                 self.metrics.tally("sync.ack_latency").record(
                     self.sim.now - start)
             elif mode is ReplicationMode.ASYNC and targets:
@@ -362,7 +380,7 @@ class GeoReplicator:
                     "geo.wan_bytes", site=target_name).record(float(chunk))
             self._check_lag(target_name)
             if self.async_backlog[item] <= 0:
-                gf.copies.add(target_name)
+                self._note_copy_complete(gf, target_name)
         self._pump_running.discard(target_name)
 
     def total_backlog_from(self, site_name: str) -> int:

@@ -70,6 +70,12 @@ class WanNetwork:
         self.sim = sim
         self.graph = nx.Graph()
         self.sites: dict[str, Site] = {}
+        #: Transfer observers (e.g. :class:`~repro.geo.selection.
+        #: RouteHistory`): objects with ``transfer_started(src, dst,
+        #: nbytes, hops)`` and ``transfer_completed(src, dst, nbytes,
+        #: hops, start, end, ok)``.  Notification is pure bookkeeping on
+        #: existing events — with no observers the path is untouched.
+        self.observers: list = []
 
     def add_site(self, site: Site) -> Site:
         """Register a site as a routing node."""
@@ -125,8 +131,22 @@ class WanNetwork:
         """Move bytes along the route; all hops carry the flow concurrently."""
         links = self.route(src, dst)
         if len(links) == 1:
-            return links[0].transfer(nbytes)
-        return self.sim.all_of([link.transfer(nbytes) for link in links])
+            ev = links[0].transfer(nbytes)
+        else:
+            ev = self.sim.all_of([link.transfer(nbytes) for link in links])
+        if self.observers:
+            hops = len(links)
+            start = self.sim.now
+            for ob in self.observers:
+                ob.transfer_started(src, dst, nbytes, hops)
+
+            def _completed(done: Event) -> None:
+                for ob in self.observers:
+                    ob.transfer_completed(src, dst, nbytes, hops, start,
+                                          self.sim.now, done.ok)
+
+            ev.add_callback(_completed)
+        return ev
 
     def neighbors_by_distance(self, origin: Site,
                               min_distance_km: float = 0.0) -> list[Site]:

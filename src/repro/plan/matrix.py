@@ -62,8 +62,8 @@ from .spec import (ClusterSpec, ScenarioSpec, SiteSpec, SpecError,
 
 _CLUSTER_AXES = tuple(f.name for f in fields(ClusterSpec))
 _WORKLOAD_AXES = tuple(f.name for f in fields(WorkloadSpec))
-_SCENARIO_AXES = ("horizon_s", "site_backing", "observability", "integrity",
-                  "scrub_passes", "profiler")
+_SCENARIO_AXES = ("horizon_s", "site_backing", "selection", "observability",
+                  "integrity", "scrub_passes", "profiler")
 
 #: Canonical expansion order: topology first, then cluster shape, then
 #: workload, then campaign toggles, faults last — the order axes nest in

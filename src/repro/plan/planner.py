@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from ..core.config import SystemConfig
 from ..faults.plan import FaultPlan
+from ..geo.selection import SELECTION_POLICIES
 from .spec import (SITE_BACKINGS, CacheBenchSpec, LinkSpec, ScenarioSpec,
                    SiteSpec, SpecError)
 
@@ -246,6 +247,10 @@ def plan_storage(spec: ScenarioSpec) -> Plan:
         raise SpecError("site_backing",
                         f"expected one of {SITE_BACKINGS}, "
                         f"got {spec.site_backing!r}")
+    if spec.selection not in SELECTION_POLICIES:
+        raise SpecError("selection",
+                        f"expected one of {SELECTION_POLICIES}, "
+                        f"got {spec.selection!r}")
     if not spec.sites:
         raise SpecError("sites", "need at least one site")
     names = spec.site_names()

@@ -386,7 +386,9 @@ def build_scenario(sim: "Simulator", plan: "Plan") -> BuiltScenario:
         base = SystemConfig(seed=spec.seed,
                             observability=spec.observability,
                             integrity=spec.integrity)
-        built.center = MetadataCenter(sim, merged_sites, config=base)
+        built.center = MetadataCenter(sim, merged_sites, config=base,
+                                      selection=spec.selection,
+                                      selection_seed=spec.seed)
         built.systems = dict(built.center.systems)
         built.network = built.center.network
         built.replicator = built.center.replicator

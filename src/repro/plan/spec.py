@@ -310,6 +310,11 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: Mapping | None = None
     site_backing: str = "system"
+    #: Holder-choice policy for geo reads (``static | random | cost``).
+    #: Defaults to ``static`` — the historical fibre-distance sort — so
+    #: existing scenario fingerprints don't shift; opt into the
+    #: history-driven cost model per scenario.
+    selection: str = "static"
     observability: bool = False
     integrity: bool = False
     scrub_passes: int = 0
@@ -344,6 +349,7 @@ class ScenarioSpec:
             "sites": [s.as_dict() for s in self.sites],
             "workload": self.workload.as_dict(),
             "site_backing": self.site_backing,
+            "selection": self.selection,
             "observability": self.observability,
             "integrity": self.integrity,
             "scrub_passes": self.scrub_passes,
@@ -368,8 +374,8 @@ class ScenarioSpec:
     def from_dict(cls, doc: Mapping,
                   context: str = "scenario") -> "ScenarioSpec":
         allowed = {"name", "seed", "horizon_s", "cluster", "sites", "links",
-                   "workload", "faults", "site_backing", "observability",
-                   "integrity", "scrub_passes", "profiler",
+                   "workload", "faults", "site_backing", "selection",
+                   "observability", "integrity", "scrub_passes", "profiler",
                    "series_interval_s", "series_capacity", "tracing"}
         _reject_unknown(doc, allowed, context)
         sites_doc = doc.get("sites", [{"name": "site0"}])
@@ -391,6 +397,7 @@ class ScenarioSpec:
             cluster=cluster, sites=sites, links=links, workload=workload,
             faults=doc.get("faults"),
             site_backing=str(doc.get("site_backing", "system")),
+            selection=str(doc.get("selection", "static")),
             observability=bool(doc.get("observability", False)),
             integrity=bool(doc.get("integrity", False)),
             scrub_passes=int(doc.get("scrub_passes", 0)),
