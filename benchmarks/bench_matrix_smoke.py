@@ -1,8 +1,8 @@
 """The scenario-matrix CI gate: one JSON sweep, no per-scenario Python.
 
-``matrix_smoke.json`` declares a 24-cell sweep (1–3 sites × replication
-2–3 × replica selection static/cost × fault campaign on/off); this gate
-expands it through
+``matrix_smoke.json`` declares a 48-cell sweep (1–3 sites × replication
+2–3 × replica selection static/cost × post-heal reconcile off/on × fault
+campaign on/off); this gate expands it through
 :class:`repro.plan.MatrixSpec`, runs every cell through the parallel
 replication runner, and asserts:
 

@@ -17,7 +17,7 @@ without importing this package.
 """
 
 from .injector import FaultInjector
-from .plan import FaultKind, FaultPlan, FaultSpec
+from .plan import FaultKind, FaultPlan, FaultSpec, parse_partition_target
 from .retry import NO_RETRY, RetryExhausted, RetryPolicy, retry, retry_call
 from .state import RecoveryTracker
 
@@ -30,6 +30,7 @@ __all__ = [
     "RecoveryTracker",
     "RetryExhausted",
     "RetryPolicy",
+    "parse_partition_target",
     "retry",
     "retry_call",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from .plan import FaultKind, FaultPlan, FaultSpec
+from .plan import FaultKind, FaultPlan, FaultSpec, parse_partition_target
 from .state import RecoveryTracker
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -45,6 +45,16 @@ class FaultInjector:
         self.applied = 0
         self.cleared = 0
         self.skipped = 0
+        #: Overlap-safe outage composition: several concurrent faults may
+        #: hold the same link or site down (LINK_FLAP + PARTITION on one
+        #: fibre, overlapping SITE_LOSS specs).  The object goes down on
+        #: the first hold and back up only when the LAST hold releases —
+        #: an inner fault's clear must never resurrect a target an outer
+        #: fault still claims.
+        self._link_holds: dict = {}
+        self._site_holds: dict = {}
+        #: Network for lazily-bound PARTITION targets (bind_partitions).
+        self._partition_network = None
 
     # -- binding ---------------------------------------------------------------
 
@@ -55,6 +65,43 @@ class FaultInjector:
             tr = RecoveryTracker(self.sim, target)
             self.trackers[target] = tr
         return tr
+
+    # -- hold counting ---------------------------------------------------------
+
+    def _hold_link(self, link) -> None:
+        count = self._link_holds.get(link, 0)
+        self._link_holds[link] = count + 1
+        if count == 0:
+            link.fail()
+
+    def _release_link(self, link) -> None:
+        count = self._link_holds.get(link, 0)
+        if count <= 0:
+            return
+        if count == 1:
+            del self._link_holds[link]
+            link.repair()
+        else:
+            self._link_holds[link] = count - 1
+
+    def _hold_site(self, site, on_loss=None) -> None:
+        count = self._site_holds.get(site, 0)
+        self._site_holds[site] = count + 1
+        if count == 0:
+            if on_loss is not None:
+                on_loss()
+            else:
+                site.fail()
+
+    def _release_site(self, site) -> None:
+        count = self._site_holds.get(site, 0)
+        if count <= 0:
+            return
+        if count == 1:
+            del self._site_holds[site]
+            site.repair()
+        else:
+            self._site_holds[site] = count - 1
 
     def register(self, kind: FaultKind | str, target: str, apply: ApplyFn,
                  clear: ApplyFn | None = None) -> None:
@@ -92,17 +139,23 @@ class FaultInjector:
         self.register(FaultKind.SLOW_NODE, target, slow, unslow)
 
     def bind_link(self, link, target: str | None = None) -> None:
-        """Link flap: new transfers fail while down; repair restores."""
+        """Link flap: new transfers fail while down; repair restores.
+
+        Down/up go through the injector's hold counts, so a flap
+        overlapping a PARTITION (or another flap) on the same fibre
+        repairs the link only when the *last* concurrent fault clears.
+        """
         target = target or link.name
         tr = self.tracker(target)
 
         def down(spec: FaultSpec) -> None:
             tr.fail("link down")
-            link.fail()
+            self._hold_link(link)
 
         def up(spec: FaultSpec) -> None:
-            link.repair()
-            tr.recovered("link restored")
+            self._release_link(link)
+            if not link.failed:
+                tr.recovered("link restored")
 
         self.register(FaultKind.LINK_FLAP, target, down, up)
 
@@ -115,15 +168,17 @@ class FaultInjector:
 
         def lose(spec: FaultSpec) -> None:
             tr.fail("site disaster")
-            if on_loss is not None:
-                on_loss()
-            else:
-                site.fail()
+            self._hold_site(site, on_loss)
 
         def restore(spec: FaultSpec) -> None:
-            site.repair()
-            tr.begin_recovery("site power restored")
-            tr.recovered("site back online")
+            # Release this fault's hold; the site only actually repairs
+            # (and the outage only closes) when no overlapping SITE_LOSS
+            # still claims it — an inner spec's clear must not resurrect
+            # a site an outer, longer outage has down.
+            self._release_site(site)
+            if not site.failed:
+                tr.begin_recovery("site power restored")
+                tr.recovered("site back online")
 
         self.register(FaultKind.SITE_LOSS, target, lose, restore)
 
@@ -135,6 +190,54 @@ class FaultInjector:
             inject(max(1, int(spec.severity)))
 
         self.register(FaultKind.TRANSIENT_IO, target, burst)
+
+    def bind_partitions(self, network) -> "FaultInjector":
+        """Enable PARTITION faults against a :class:`WanNetwork`.
+
+        Partition targets name site *groups* (``"a,b|c"``), so concrete
+        bindings are created lazily at :meth:`arm` time from whatever
+        group expressions the plan actually uses.
+        """
+        self._partition_network = network
+        return self
+
+    def _bind_partition(self, target: str) -> None:
+        """Bind one partition expression: cut every link crossing the
+        declared groups, bidirectionally, for the fault's duration."""
+        group_a, group_b = parse_partition_target(target)
+        net = self._partition_network
+        for name in group_a + group_b:
+            if name not in net.sites:
+                raise ValueError(
+                    f"partition target {target!r} names unknown site "
+                    f"{name!r}; known: {sorted(net.sites)}")
+        a_set, b_set = set(group_a), set(group_b)
+        tr = self.tracker(f"partition:{target}")
+        #: One entry per concurrently-applied cut of this expression —
+        #: heal releases the oldest batch, so overlapping hand-built
+        #: specs compose with the same hold semantics as links/sites.
+        batches: list[list] = []
+
+        def cut(spec: FaultSpec) -> None:
+            crossing = []
+            for u, v in sorted(net.graph.edges):
+                if (u in a_set and v in b_set) \
+                        or (u in b_set and v in a_set):
+                    link = net.graph.edges[u, v]["link"]
+                    crossing.append(link)
+                    self._hold_link(link)
+            batches.append(crossing)
+            tr.fail("wan partition")
+
+        def heal(spec: FaultSpec) -> None:
+            if not batches:
+                return
+            for link in batches.pop(0):
+                self._release_link(link)
+            if not batches:
+                tr.recovered("partition healed")
+
+        self.register(FaultKind.PARTITION, target, cut, heal)
 
     # -- whole-deployment binders ----------------------------------------------
 
@@ -233,6 +336,7 @@ class FaultInjector:
             self.bind_link(mc.network.graph.edges[u, v]["link"])
         for name in sorted(mc.systems):
             self.bind_system(mc.systems[name], prefix=f"{name}.")
+        self.bind_partitions(mc.network)
         return self
 
     # -- arming ----------------------------------------------------------------
@@ -246,6 +350,12 @@ class FaultInjector:
         """
         for spec in plan:
             binding = self._bindings.get((spec.kind, spec.target))
+            if binding is None and spec.kind is FaultKind.PARTITION \
+                    and self._partition_network is not None:
+                # Partition targets are group expressions, unknowable at
+                # bind time: materialize the binding on first use.
+                self._bind_partition(spec.target)
+                binding = self._bindings[(spec.kind, spec.target)]
             if binding is None:
                 if strict:
                     raise KeyError(

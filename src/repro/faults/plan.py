@@ -31,6 +31,7 @@ class FaultKind(str, Enum):
     DISK_FAIL = "disk_fail"        # spindle dies; declustered rebuild territory
     LINK_FLAP = "link_flap"        # link down/up (partition when it's a WAN cut)
     SITE_LOSS = "site_loss"        # whole-site disaster (§6.2)
+    PARTITION = "partition"        # bidirectional cut between site groups
     SLOW_NODE = "slow_node"        # latency inflation, the gray failure
     TRANSIENT_IO = "transient_io"  # one-shot backing I/O errors
     # Silent-data-corruption kinds (see repro.integrity): at-rest damage
@@ -46,6 +47,36 @@ _CORRUPTION_KINDS = frozenset({
     FaultKind.BITROT, FaultKind.TORN_WRITE, FaultKind.MISDIRECTED_WRITE,
     FaultKind.WIRE_CORRUPT,
 })
+
+
+def parse_partition_target(target: str) -> tuple[tuple[str, ...],
+                                                 tuple[str, ...]]:
+    """Parse a PARTITION target: ``"a,b|c"`` = cut {a,b} from {c}.
+
+    Exactly two ``|``-separated groups of comma-separated site names;
+    both non-empty and disjoint.  Every WAN link with one endpoint in
+    each group goes down for the fault's duration — a *bidirectional*
+    cut, unlike a single LINK_FLAP which other fibres can route around.
+    """
+    groups = target.split("|")
+    if len(groups) != 2:
+        raise ValueError(
+            f"partition target must be 'siteA,siteB|siteC' (exactly two "
+            f"'|'-separated groups), got {target!r}")
+    parsed = []
+    for raw in groups:
+        names = tuple(sorted({n.strip() for n in raw.split(",")
+                              if n.strip()}))
+        if not names:
+            raise ValueError(
+                f"partition target {target!r} has an empty site group")
+        parsed.append(names)
+    overlap = set(parsed[0]) & set(parsed[1])
+    if overlap:
+        raise ValueError(
+            f"partition target {target!r} lists "
+            f"{sorted(overlap)} on both sides of the cut")
+    return parsed[0], parsed[1]
 
 
 @dataclass(frozen=True, order=True)

@@ -1,9 +1,11 @@
 """Geographically distributed storage: sites, WAN, replication, DR (§6.2, §7)."""
 
 from .dr import DisasterRecoveryCoordinator, RecoveryReport
+from .lease import EpochFencingError, HomeLease, LeaseAuthority
 from .metacenter import MetadataCenter
 from .migration import DistributedAccessManager, FileResidency
-from .replication import GeoFile, GeoReplicator
+from .reconcile import ReconcileDaemon
+from .replication import GeoFile, GeoReplicator, Orphan
 from .selection import (SELECTION_POLICIES, CostModelSelector, RandomSelector,
                         ReplicaCatalog, ReplicaSelector, RouteHistory,
                         StaticSelector, make_selector)
@@ -15,12 +17,17 @@ __all__ = [
     "CostModelSelector",
     "DisasterRecoveryCoordinator",
     "DistributedAccessManager",
+    "EpochFencingError",
     "FileResidency",
     "GeoFile",
     "GeoReplicator",
+    "HomeLease",
+    "LeaseAuthority",
     "MetadataCenter",
     "NoRouteError",
+    "Orphan",
     "RandomSelector",
+    "ReconcileDaemon",
     "RecoveryReport",
     "ReplicaCatalog",
     "ReplicaSelector",

@@ -83,7 +83,15 @@ class DisasterRecoveryCoordinator:
                     site.distance_to(self.network.sites[name]), name))
                 gf.home = survivors[0]
                 new_homes[path] = survivors[0]
-        # Backlog *from* the dead site can never drain: account it as loss.
+                # Fence the old holder (epoch bump) and strand its
+                # un-drained acked bytes as an orphan fork: if the site
+                # returns it rejoins as a fenced replica and the
+                # reconciler settles the fork — it must NOT resume
+                # write authority on its stale epoch.
+                self.replicator.note_failover(path, site.name,
+                                              survivors[0])
+        # Backlog *from* the dead site can never drain: account it as loss
+        # (rehomed files' entries were already consumed by note_failover).
         for key in list(self.replicator.async_backlog):
             path, _target = key
             if self.replicator.files[path].home == site.name \

@@ -24,7 +24,7 @@ from ..plan.spec import SiteSpec
 from ..fs.metadata import Inode
 from ..fs.policies import DEFAULT_POLICY, FilePolicy
 from ..sim.events import Event
-from ..sim.faults import is_fault
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.units import gbps
 from .dr import DisasterRecoveryCoordinator, RecoveryReport
 from .migration import DistributedAccessManager
@@ -113,6 +113,8 @@ class MetadataCenter:
         self.access.catalog.bind_replicator(self.replicator)
         self.dr = DisasterRecoveryCoordinator(sim, self.network,
                                               self.replicator)
+        #: Post-heal anti-entropy; attach_reconciler() turns it on.
+        self.reconciler = None
         self._homes: dict[str, str] = {}
         # Integrity-enabled sites gain the WAN tier of the repair chain:
         # a chunk no local tier can fix is refetched from a peer site.
@@ -146,7 +148,11 @@ class MetadataCenter:
             def run():
                 try:
                     yield self.network.transfer(peers[0], origin, nbytes)
-                except Exception as exc:
+                except FAULT_EXCEPTIONS as exc:
+                    # Only injected outages (route cut, peer died) fail
+                    # the fetch; a wrapped model bug must propagate.
+                    if not is_fault(exc):
+                        raise
                     done.fail(exc)
                     return
                 done.succeed(nbytes)
@@ -196,16 +202,25 @@ class MetadataCenter:
         return inode
 
     def write(self, path: str, offset: int, nbytes: int,
-              at: str | None = None) -> Event:
+              at: str | None = None, epoch: int | None = None) -> Event:
         """Write from any site; data lands at the file's (current) home.
 
         The ack follows the file's replication policy: local-site cache
         safety for NONE/ASYNC, every replica site for SYNC.
+
+        ``epoch`` is the home epoch the writer captured (see
+        :meth:`write_epoch`); after a DR promotion a stale epoch fails
+        the write with ``EpochFencingError`` before any metadata or data
+        mutation — split-brain writes are rejected, never applied.
         """
         done = Event(self.sim)
-        self.sim.process(self._write(path, offset, nbytes, at, done),
+        self.sim.process(self._write(path, offset, nbytes, at, done, epoch),
                          name="meta.write")
         return done
+
+    def write_epoch(self, path: str) -> int:
+        """The current home epoch a writer should present with writes."""
+        return self.replicator.leases.epoch(path)
 
     def _log_failure(self, kind: str, path: str, exc: BaseException) -> None:
         """Failures crossing this boundary go through the event log with a
@@ -218,7 +233,7 @@ class MetadataCenter:
         log("geo.metacenter", kind, path=path, error=type(exc).__name__)
 
     def _write(self, path: str, offset: int, nbytes: int,
-               at: str | None, done: Event):
+               at: str | None, done: Event, epoch: int | None = None):
         gf = self.replicator.files.get(path)
         if gf is None:
             done.fail(KeyError(f"unknown file {path!r}"))
@@ -226,6 +241,9 @@ class MetadataCenter:
         home = gf.home
         writer = at or home
         try:
+            # Fence FIRST: a stale-epoch writer must not forward bytes or
+            # touch the home PFS metadata before being rejected.
+            self.replicator.leases.check_write(path, epoch)
             if writer != home:
                 # Forward the bytes to the home site first.
                 yield self.network.transfer(self.network.sites[writer],
@@ -234,7 +252,7 @@ class MetadataCenter:
             # carries the timing (local store + WAN per policy).
             self.systems[home].pfs.write(path, offset, nbytes,
                                          now=self.sim.now)
-            yield self.replicator.write(path, nbytes)
+            yield self.replicator.write(path, nbytes, epoch=epoch)
         except Exception as exc:
             # Documented process boundary: ``done`` must fire or the
             # caller hangs, so even non-fault errors surface through the
@@ -301,6 +319,16 @@ class MetadataCenter:
             injector.arm(plan, strict=strict)
         return injector
 
+    def attach_reconciler(self, settle_delay: float = 0.5):
+        """Start the post-heal anti-entropy daemon; idempotent."""
+        if self.reconciler is None:
+            from .reconcile import ReconcileDaemon
+            self.reconciler = ReconcileDaemon(
+                self.sim, self.network, self.replicator,
+                settle_delay=settle_delay)
+            self.reconciler.start()
+        return self.reconciler
+
     def report(self) -> dict[str, float]:
         """One management view over the whole distributed system (§7.3)."""
         out: dict[str, float] = {}
@@ -317,6 +345,15 @@ class MetadataCenter:
             history = getattr(self.access.selector, "history", None)
             if history is not None:
                 out["select.route_samples"] = float(history.samples)
+        if self.reconciler is not None:
+            summary = self.reconciler.summary()
+            # Keys appear only when reconciliation actually ran: an idle
+            # daemon leaves the report (and scenario fingerprints)
+            # byte-identical to a run without one.
+            if summary["sweeps"]:
+                out["reconcile.sweeps"] = summary["sweeps"]
+                out["reconcile.resynced_bytes"] = summary["resynced_bytes"]
+                out["reconcile.conflicts"] = summary["conflicts"]
         return out
 
 

@@ -23,6 +23,7 @@ from ..obs.tracer import NULL_SPAN
 from ..sim.events import Event
 from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.stats import MetricSet
+from .lease import EpochFencingError, LeaseAuthority
 from .site import Site
 from .wan import WanNetwork
 
@@ -34,7 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class GeoFile:
     """Replication state of one file."""
 
-    __slots__ = ("path", "policy", "copies", "size", "home")
+    __slots__ = ("path", "policy", "copies", "size", "home", "version",
+                 "site_versions", "last_write_at")
 
     def __init__(self, path: str, policy: FilePolicy, home: str) -> None:
         self.path = path
@@ -42,6 +44,31 @@ class GeoFile:
         self.home = home
         self.copies: set[str] = {home}
         self.size = 0
+        #: Monotonic write counter of the authoritative lineage; bumps on
+        #: every acked home write.  Per-site versions record the last
+        #: version each replica is known current *through*, which is what
+        #: the reconciler compares after a partition heals.
+        self.version = 0
+        self.site_versions: dict[str, int] = {home: 0}
+        self.last_write_at = float("-inf")
+
+
+class Orphan:
+    """Bytes stranded on a fenced ex-home when DR rehomed the file.
+
+    The old home acked writes the new lineage never received; after the
+    site returns, the reconciler settles the fork deterministically
+    (sim-time last-writer-wins against the surviving lineage).
+    """
+
+    __slots__ = ("nbytes", "last_write_at", "version", "size_at_fork")
+
+    def __init__(self, nbytes: int, last_write_at: float,
+                 version: int, size_at_fork: int) -> None:
+        self.nbytes = nbytes
+        self.last_write_at = last_write_at
+        self.version = version
+        self.size_at_fork = size_at_fork
 
 
 class GeoReplicator:
@@ -83,6 +110,22 @@ class GeoReplicator:
         #: from both its link and its store in the same tick is counted as
         #: ONE outage transition, not two.
         self._down_sites: set[str] = set()
+        #: Write-authority epochs; DR promotions bump these so stale
+        #: writers fence instead of silently applying (split-brain).
+        self.leases = LeaseAuthority(sim)
+        #: (path, site) -> bytes a replica is known to be *missing* that
+        #: no async pump will deliver (sync targets lost mid-replication,
+        #: replicas dropped from the target set while writes continued).
+        #: Async backlog is deliberately NOT mirrored here — the pump owns
+        #: draining it; the reconciler owns only this map plus orphans.
+        self.divergence: dict[tuple[str, str], int] = {}
+        #: (path, ex_home) -> :class:`Orphan` forks created by failover.
+        self.orphans: dict[tuple[str, str], Orphan] = {}
+        # Outage accounting rides the sites' own state transitions, not
+        # I/O observation: an outage that begins and ends with no I/O in
+        # between still counts, and repair clears FAILED health at repair
+        # time rather than at the next successful transfer.
+        network.state_listeners.append(self._on_network_state)
 
     # -- registration ----------------------------------------------------------------
 
@@ -92,6 +135,7 @@ class GeoReplicator:
             raise ValueError(f"file {path!r} already registered")
         gf = GeoFile(path, policy, home.name)
         self.files[path] = gf
+        self.leases.grant(path, home.name)
         return gf
 
     def set_policy(self, path: str, policy: FilePolicy) -> None:
@@ -145,6 +189,89 @@ class GeoReplicator:
                 self.sim.obs.log.info("geo.replication", "site_recovered",
                                       site=site_name)
 
+    def _on_network_state(self, obj, failed: bool) -> None:
+        """Site up/down transitions from the network, exactly once each.
+
+        Only *site* state defines a site outage — a flapped WAN link cuts
+        routes, which the pump observes as stalls, but the site itself is
+        healthy.  I/O-observation call sites below still mark sites down
+        for transient faults the transition hooks never see.
+        """
+        if not isinstance(obj, Site):
+            return
+        if failed:
+            self._note_site_down(obj.name)
+        else:
+            self._note_site_up(obj.name)
+
+    # -- divergence tracking -------------------------------------------------------------
+
+    def _note_divergence(self, gf: GeoFile, site_name: str,
+                         nbytes: int) -> None:
+        """A replica at ``site_name`` is now known to lack ``nbytes``
+        that nothing in the normal write path will deliver."""
+        key = (gf.path, site_name)
+        self.divergence[key] = self.divergence.get(key, 0) + nbytes
+        if self.sim.obs is not None:
+            self.sim.obs.series.level(
+                "geo.divergence", site=site_name).record(
+                float(self.divergent_bytes_at(site_name)))
+
+    def clear_divergence(self, path: str, site_name: str,
+                         nbytes: int | None = None) -> None:
+        """Retire (part of) a divergence entry after a resync shipment."""
+        key = (path, site_name)
+        owed = self.divergence.get(key)
+        if owed is None:
+            return
+        remaining = 0 if nbytes is None else max(0, owed - nbytes)
+        if remaining:
+            self.divergence[key] = remaining
+        else:
+            del self.divergence[key]
+        if self.sim.obs is not None:
+            self.sim.obs.series.level(
+                "geo.divergence", site=site_name).record(
+                float(self.divergent_bytes_at(site_name)))
+
+    def divergent_bytes_at(self, site_name: str) -> int:
+        """Known-missing bytes across all files for one site."""
+        return sum(b for (_p, s), b in self.divergence.items()
+                   if s == site_name)
+
+    def total_divergence(self) -> int:
+        return sum(self.divergence.values())
+
+    # -- failover bookkeeping ------------------------------------------------------------
+
+    def note_failover(self, path: str, old_home: str, new_home: str) -> None:
+        """DR rehomed ``path``: fence the old holder, strand its fork.
+
+        The new home's un-drained async backlog entry is exactly the acked
+        bytes the surviving lineage is missing — that becomes the orphan
+        the reconciler settles when (if) the old site returns.  All other
+        backlog entries from the dead home are unpumpable and dropped
+        (they are the measured RPO, already reported by DR).
+        """
+        gf = self.files[path]
+        self.leases.promote(path, new_home)
+        orphan_bytes = 0
+        for key in [k for k in self.async_backlog if k[0] == path]:
+            owed = self.async_backlog.pop(key)
+            if key[1] == new_home:
+                orphan_bytes += owed
+        # Always record the fork point — even with zero stranded bytes the
+        # ex-home must be caught up on everything written after it left
+        # before it can serve reads again.
+        self.orphans[(path, old_home)] = Orphan(
+            orphan_bytes, gf.last_write_at, gf.version, gf.size)
+        if orphan_bytes > 0:
+            self.metrics.counter("failover.orphans").incr()
+        # The ex-home's copy is a fenced fork, not a current replica:
+        # selection must not read from it until reconciliation readmits it.
+        gf.copies.discard(old_home)
+        gf.site_versions.pop(old_home, None)
+
     # -- in-flight verification ---------------------------------------------------------
 
     def corrupt_next(self, count: int = 1) -> None:
@@ -178,18 +305,27 @@ class GeoReplicator:
 
     # -- the write path -----------------------------------------------------------------
 
-    def write(self, path: str, nbytes: int) -> Event:
+    def write(self, path: str, nbytes: int,
+              epoch: int | None = None) -> Event:
         """A host write at the file's home site; event fires at *ack* time.
 
         SYNC policies ack only after every target site has the bytes;
         ASYNC policies ack after the local write and drain in background;
         NONE never leaves the home site.
+
+        ``epoch`` is the home epoch the writer captured when it opened the
+        file (``leases.epoch(path)``).  A stale epoch — the writer's home
+        was fenced off by a DR promotion while it was partitioned — fails
+        the write with :class:`EpochFencingError` before any byte lands.
+        ``None`` (the legacy shape) always passes the fence.
         """
         done = Event(self.sim)
-        self.sim.process(self._write(path, nbytes, done), name="geo.write")
+        self.sim.process(self._write(path, nbytes, done, epoch),
+                         name="geo.write")
         return done
 
-    def _write(self, path: str, nbytes: int, done: Event):
+    def _write(self, path: str, nbytes: int, done: Event,
+               epoch: int | None = None):
         gf = self.files[path]
         origin = self.network.sites[gf.home]
         start = self.sim.now
@@ -199,6 +335,13 @@ class GeoReplicator:
                                 mode=mode.value)
                 if obs is not None else NULL_SPAN)
         with span:
+            try:
+                # Fence BEFORE any storage I/O: a stale-epoch write must
+                # be rejected and surfaced, never partially applied.
+                self.leases.check_write(path, epoch)
+            except EpochFencingError as exc:
+                done.fail(exc)
+                return
             try:
                 with span.child("site.store", site=origin.name):
                     yield origin.store_write(nbytes)
@@ -216,7 +359,16 @@ class GeoReplicator:
                 return
             self._note_site_up(origin.name)
             gf.size += nbytes
+            gf.version += 1
+            gf.last_write_at = self.sim.now
+            gf.site_versions[origin.name] = gf.version
             targets = self.replica_targets(gf, origin)
+            # Replicas holding a copy but no longer in the target set
+            # (site down, policy narrowed) fall behind with nothing in the
+            # normal path to catch them up: that gap is *divergence*.
+            target_names = {t.name for t in targets}
+            for stale in sorted(gf.copies - {origin.name} - target_names):
+                self._note_divergence(gf, stale, nbytes)
             if mode is ReplicationMode.SYNC and targets:
                 transfers = []
                 for target in targets:
@@ -232,9 +384,17 @@ class GeoReplicator:
                     # and the caller hung on a never-firing event).
                     if not is_fault(exc):
                         raise
-                    for target in targets:
+                    for target, ev in zip(targets, transfers):
                         if target.failed:
                             self._note_site_down(target.name)
+                        if ev.ok:
+                            gf.site_versions[target.name] = gf.version
+                        else:
+                            # The barrier failed the write, so the caller
+                            # will not retry these bytes toward this
+                            # target: the replica is divergent until the
+                            # reconciler re-ships them.
+                            self._note_divergence(gf, target.name, nbytes)
                     self.metrics.counter("sync.failures").incr()
                     if obs is not None:
                         obs.log.error("geo.replication",
@@ -243,6 +403,7 @@ class GeoReplicator:
                     done.fail(exc)
                     return
                 for target in targets:
+                    gf.site_versions[target.name] = gf.version
                     self._note_copy_complete(gf, target.name)
                 self.metrics.tally("sync.ack_latency").record(
                     self.sim.now - start)
@@ -373,6 +534,12 @@ class GeoReplicator:
             stalls = 0
             self._note_site_up(origin.name)
             self._note_site_up(target.name)
+            if item not in self.async_backlog:
+                # A failover consumed this entry while the chunk was in
+                # flight: those bytes are accounted by the orphan fork
+                # now, and decrementing the (gone) defaultdict entry here
+                # would resurrect it with a negative balance.
+                continue
             self.async_backlog[item] -= chunk
             self.metrics.rate("wan.replication_bytes").record(chunk)
             if self.sim.obs is not None:
@@ -380,6 +547,10 @@ class GeoReplicator:
                     "geo.wan_bytes", site=target_name).record(float(chunk))
             self._check_lag(target_name)
             if self.async_backlog[item] <= 0:
+                # Fully drained: every acked byte for this file has
+                # landed, so the replica is current through the lineage
+                # version as of *now*.
+                gf.site_versions[target_name] = gf.version
                 self._note_copy_complete(gf, target_name)
         self._pump_running.discard(target_name)
 
@@ -420,6 +591,11 @@ class GeoReplicator:
         elif lagging:
             state = HealthState.DEGRADED
             detail = f"lagging: {','.join(lagging)}"
+        elif self.divergence or self.orphans:
+            state = HealthState.DEGRADED
+            detail = (f"divergent: {self.total_divergence()}B across "
+                      f"{len(self.divergence)} replica(s), "
+                      f"{len(self.orphans)} orphan fork(s)")
         else:
             state = HealthState.UP
             detail = ""
@@ -428,6 +604,8 @@ class GeoReplicator:
             "files": float(len(self.files)),
             "pumps_running": float(len(self._pump_running)),
             "down_sites": float(len(self._down_sites)),
+            "divergent_bytes": float(self.total_divergence()),
+            "orphan_forks": float(len(self.orphans)),
         }, detail=detail)
 
     def register_health(self, mgmt: "ManagementPlane") -> None:

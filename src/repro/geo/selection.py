@@ -205,10 +205,17 @@ class ReplicaCatalog:
     # -- freshness -------------------------------------------------------------
 
     def staleness_bytes(self, path: str, site: str) -> int:
-        """Bytes this site's copy is behind the home (0 = current)."""
+        """Bytes this site's copy is behind the home (0 = current).
+
+        Two sources stack: async backlog the pump will still deliver,
+        and divergence a partition/failover opened that only the
+        reconcile daemon closes.  Either way the copy is worth less
+        until the bytes land.
+        """
         if self.replicator is None:
             return 0
-        return self.replicator.async_backlog.get((path, site), 0)
+        return (self.replicator.async_backlog.get((path, site), 0)
+                + self.replicator.divergence.get((path, site), 0))
 
     def policy_of(self, path: str) -> "FilePolicy | None":
         """The file's replication policy (RPO behaviour), if known."""

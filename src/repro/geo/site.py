@@ -44,6 +44,10 @@ class Site:
         self.backend_read = backend_read
         self.backend_write = backend_write
         self.failed = False
+        #: ``fn(site, failed)`` callbacks fired on actual up/down
+        #: transitions — redundant fail()/repair() calls are silent, so
+        #: subscribers see each outage exactly once.
+        self.on_state_change: list = []
         self.bytes_read = 0
         self.bytes_written = 0
 
@@ -89,11 +93,19 @@ class Site:
 
     def fail(self) -> None:
         """Complete site outage (§6.2: 'failure of the entire site')."""
+        if self.failed:
+            return
         self.failed = True
+        for fn in self.on_state_change:
+            fn(self, True)
 
     def repair(self) -> None:
         """Bring the site back online after a disaster."""
+        if not self.failed:
+            return
         self.failed = False
+        for fn in self.on_state_change:
+            fn(self, False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "DOWN" if self.failed else "up"

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..sim.faults import FAULT_EXCEPTIONS, is_fault
 from ..sim.stats import Tally
 from ..virt.dmsd import DemandMappedDevice
 from ..virt.snapshot import Snapshot, take_snapshot
@@ -50,6 +51,7 @@ class SnapshotShippingReplicator:
         self.period = period
         self._baseline: Snapshot | None = None
         self.cycles = 0
+        self.skipped_cycles = 0
         self.bytes_shipped = 0
         self.last_complete_sync: float = float("-inf")
         self.cycle_durations = Tally()
@@ -66,8 +68,19 @@ class SnapshotShippingReplicator:
         while True:
             yield self.sim.timeout(self.period)
             if self.source.failed or self.target.failed:
+                self.skipped_cycles += 1
                 continue
-            yield from self._one_cycle()
+            try:
+                yield from self._one_cycle()
+            except FAULT_EXCEPTIONS as exc:
+                # An endpoint or route died *mid-cycle* (the pre-check
+                # above only sees faults that land between cycles): skip
+                # this delta — the next cycle re-diffs against the same
+                # baseline, so nothing is lost.  A wrapped model bug must
+                # still crash the loop loudly.
+                if not is_fault(exc):
+                    raise
+                self.skipped_cycles += 1
 
     def _one_cycle(self):
         started = self.sim.now
@@ -76,9 +89,15 @@ class SnapshotShippingReplicator:
         delta_pages = snapshot_delta_pages(self._baseline, snap)
         delta_bytes = delta_pages * self.device.page_size
         if delta_bytes > 0:
-            yield self.network.transfer(self.source, self.target,
-                                        delta_bytes)
-            yield self.target.store_write(delta_bytes)
+            try:
+                yield self.network.transfer(self.source, self.target,
+                                            delta_bytes)
+                yield self.target.store_write(delta_bytes)
+            except BaseException:
+                # The delta never became the new baseline: release the
+                # snapshot so its page references don't leak capacity.
+                snap.delete()
+                raise
             self.bytes_shipped += delta_bytes
         if self._baseline is not None:
             self._baseline.delete()

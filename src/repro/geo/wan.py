@@ -76,6 +76,15 @@ class WanNetwork:
         #: hops, start, end, ok)``.  Notification is pure bookkeeping on
         #: existing events — with no observers the path is untouched.
         self.observers: list = []
+        #: State listeners: ``fn(obj, failed)`` called whenever a member
+        #: site or link transitions up/down.  ``obj`` is the Site or link
+        #: itself.  Synchronous bookkeeping fan-out (no kernel events), so
+        #: subscribing is fingerprint-neutral until a transition happens.
+        self.state_listeners: list = []
+
+    def _forward_state(self, obj, failed: bool) -> None:
+        for fn in self.state_listeners:
+            fn(obj, failed)
 
     def add_site(self, site: Site) -> Site:
         """Register a site as a routing node."""
@@ -83,6 +92,7 @@ class WanNetwork:
             raise ValueError(f"site {site.name!r} already added")
         self.sites[site.name] = site
         self.graph.add_node(site.name)
+        site.on_state_change.append(self._forward_state)
         return site
 
     def connect(self, a: Site, b: Site, bandwidth: float = gbps(2.5),
@@ -96,6 +106,7 @@ class WanNetwork:
         link = WanLink(self.sim, a, b, bandwidth, distance_km,
                        encrypted=encrypted, crypto_mode=crypto_mode)
         self.graph.add_edge(a.name, b.name, link=link, weight=link.latency)
+        link.on_state_change.append(self._forward_state)
         return link
 
     # -- routing ------------------------------------------------------------------------
@@ -122,6 +133,14 @@ class WanNetwork:
             raise NoRouteError(f"no path {src.name} -> {dst.name}") from exc
         return [self.graph.edges[u, v]["link"]
                 for u, v in zip(names, names[1:])]
+
+    def reachable(self, src: Site, dst: Site) -> bool:
+        """True when a surviving route exists right now (no side effects)."""
+        try:
+            self.route(src, dst)
+        except NoRouteError:
+            return False
+        return True
 
     def rtt(self, src: Site, dst: Site) -> float:
         """Round-trip propagation time along the current route."""

@@ -24,8 +24,9 @@ Axes
   scenario-wide cluster;
 * workload axes (``clients``, ``op_bytes``, ``period_s``) — any
   :class:`~repro.plan.spec.WorkloadSpec` field;
-* scenario axes (``horizon_s``, ``site_backing``, ``observability``,
-  ``integrity``, ``scrub_passes``, ``profiler``) — direct fields;
+* scenario axes (``horizon_s``, ``site_backing``, ``selection``,
+  ``reconcile``, ``observability``, ``integrity``, ``scrub_passes``,
+  ``profiler``) — direct fields;
 * ``faults`` — ``null`` (no campaign) or an inline fault-plan document.
 
 Fault targets in a sweep may use the ``@`` *template* prefix
@@ -62,8 +63,8 @@ from .spec import (ClusterSpec, ScenarioSpec, SiteSpec, SpecError,
 
 _CLUSTER_AXES = tuple(f.name for f in fields(ClusterSpec))
 _WORKLOAD_AXES = tuple(f.name for f in fields(WorkloadSpec))
-_SCENARIO_AXES = ("horizon_s", "site_backing", "selection", "observability",
-                  "integrity", "scrub_passes", "profiler")
+_SCENARIO_AXES = ("horizon_s", "site_backing", "selection", "reconcile",
+                  "observability", "integrity", "scrub_passes", "profiler")
 
 #: Canonical expansion order: topology first, then cluster shape, then
 #: workload, then campaign toggles, faults last — the order axes nest in

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 from ..core.config import SystemConfig
-from ..faults.plan import FaultPlan
+from ..faults.plan import FaultKind, FaultPlan, parse_partition_target
 from ..geo.selection import SELECTION_POLICIES
 from .spec import (SITE_BACKINGS, CacheBenchSpec, LinkSpec, ScenarioSpec,
                    SiteSpec, SpecError)
@@ -211,8 +211,11 @@ class Plan:
         return build_scenario(sim, self)
 
 
-def _resolve_faults(spec: ScenarioSpec,
-                    valid_targets: set[str]) -> FaultPlan | None:
+def _resolve_faults(spec: ScenarioSpec, valid_targets: set[str],
+                    site_names: set[str] | None = None) -> FaultPlan | None:
+    """Validate the campaign; ``site_names`` non-None enables PARTITION
+    targets (multi-site topologies only) and checks their group grammar
+    plus site membership instead of inventory lookup."""
     if spec.faults is None:
         return None
     try:
@@ -221,6 +224,23 @@ def _resolve_faults(spec: ScenarioSpec,
     except ValueError as exc:
         raise SpecError("faults", str(exc)) from None
     for i, fault in enumerate(plan):
+        if fault.kind is FaultKind.PARTITION:
+            if site_names is None:
+                raise SpecError(
+                    f"faults[{i}].target",
+                    "partition faults need a multi-site topology "
+                    "(a single-site scenario has no WAN to cut)")
+            try:
+                group_a, group_b = parse_partition_target(fault.target)
+            except ValueError as exc:
+                raise SpecError(f"faults[{i}].target", str(exc)) from None
+            for name in group_a + group_b:
+                if name not in site_names:
+                    raise SpecError(
+                        f"faults[{i}].target",
+                        f"partition group names unknown site {name!r}; "
+                        f"declared sites: {', '.join(sorted(site_names))}")
+            continue
         if fault.target not in valid_targets:
             known = ", ".join(sorted(valid_targets))
             raise SpecError(
@@ -355,7 +375,8 @@ def plan_storage(spec: ScenarioSpec) -> Plan:
                 targets.update(f"{sp.name}.disk{i}"
                                for i in range(len(sp.disks)))
                 targets.add(f"{sp.name}.cache")
-    faults = _resolve_faults(spec, targets)
+    faults = _resolve_faults(spec, targets,
+                             site_names=set(names) if multi else None)
 
     return Plan(spec=spec, kind=kind, sites=tuple(site_plans),
                 links=tuple(link_plans), faults=faults,

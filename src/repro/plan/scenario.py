@@ -140,6 +140,8 @@ class BuiltScenario:
         self.network: "WanNetwork | None" = None
         self.replicator: "GeoReplicator | None" = None
         self.dr = None
+        #: Post-heal anti-entropy daemon when ``spec.reconcile`` is set.
+        self.reconciler = None
         self.obs: "Observability | None" = None
         self.injector: "FaultInjector | None" = None
         self.profiler = None
@@ -183,6 +185,18 @@ class BuiltScenario:
             self.injector = self._attach_faults(strict_faults)
             if self.obs is not None:
                 self.injector.register_health(self.obs.mgmt)
+        if spec.reconcile and self.kind in ("geo", "wan"):
+            # Strictly event-driven: subscribes to WAN state transitions
+            # and schedules nothing while the topology stays healthy, so
+            # a fault-free run fingerprints identically with it on or off.
+            if self.kind == "geo":
+                self.reconciler = self.center.attach_reconciler()
+            else:
+                from ..geo.reconcile import ReconcileDaemon
+                self.reconciler = ReconcileDaemon(
+                    self.sim, self.network, self.replicator).start()
+            if self.obs is not None:
+                self.reconciler.register_health(self.obs.mgmt)
         if spec.scrub_passes:
             for system in self.all_systems():
                 self.scrubbers.append(
@@ -204,6 +218,7 @@ class BuiltScenario:
                                on_loss=lambda s=site: dr.fail_site(s))
         for u, v in sorted(net.graph.edges):
             injector.bind_link(net.graph.edges[u, v]["link"])
+        injector.bind_partitions(net)
         return injector.arm(plan, strict=strict)
 
     def __enter__(self) -> "BuiltScenario":
@@ -350,6 +365,15 @@ class BuiltScenario:
             site = self.network.sites[name]
             out[f"{name}.bytes_read"] = float(site.bytes_read)
             out[f"{name}.bytes_written"] = float(site.bytes_written)
+        if self.reconciler is not None:
+            summary = self.reconciler.summary()
+            # Keys appear only when reconciliation actually ran, keeping
+            # fault-free fingerprints identical with the daemon on or off.
+            if summary["sweeps"]:
+                out["reconcile.sweeps"] = float(summary["sweeps"])
+                out["reconcile.resynced_bytes"] = float(
+                    summary["resynced_bytes"])
+                out["reconcile.conflicts"] = float(summary["conflicts"])
         return out
 
     def _fingerprint(self, counts: dict, metrics: dict) -> str:

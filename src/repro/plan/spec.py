@@ -315,6 +315,12 @@ class ScenarioSpec:
     #: existing scenario fingerprints don't shift; opt into the
     #: history-driven cost model per scenario.
     selection: str = "static"
+    #: Post-heal anti-entropy: start a :class:`~repro.geo.reconcile.
+    #: ReconcileDaemon` over the scenario's replicator.  Off by default;
+    #: the daemon is strictly event-driven, so a fault-free run with it
+    #: on is fingerprint-identical to one without (the sweepable claim
+    #: the partition benchmark gates).
+    reconcile: bool = False
     observability: bool = False
     integrity: bool = False
     scrub_passes: int = 0
@@ -364,6 +370,10 @@ class ScenarioSpec:
             doc["links"] = [l.as_dict() for l in self.links]
         if self.faults is not None:
             doc["faults"] = dict(self.faults)
+        # Emitted only when enabled so pre-existing spec documents and
+        # their fingerprint fixtures stay byte-identical.
+        if self.reconcile:
+            doc["reconcile"] = True
         return doc
 
     def to_json(self, indent: int | None = None) -> str:
@@ -375,8 +385,9 @@ class ScenarioSpec:
                   context: str = "scenario") -> "ScenarioSpec":
         allowed = {"name", "seed", "horizon_s", "cluster", "sites", "links",
                    "workload", "faults", "site_backing", "selection",
-                   "observability", "integrity", "scrub_passes", "profiler",
-                   "series_interval_s", "series_capacity", "tracing"}
+                   "reconcile", "observability", "integrity", "scrub_passes",
+                   "profiler", "series_interval_s", "series_capacity",
+                   "tracing"}
         _reject_unknown(doc, allowed, context)
         sites_doc = doc.get("sites", [{"name": "site0"}])
         if not isinstance(sites_doc, Sequence) or isinstance(sites_doc, str):
@@ -398,6 +409,7 @@ class ScenarioSpec:
             faults=doc.get("faults"),
             site_backing=str(doc.get("site_backing", "system")),
             selection=str(doc.get("selection", "static")),
+            reconcile=bool(doc.get("reconcile", False)),
             observability=bool(doc.get("observability", False)),
             integrity=bool(doc.get("integrity", False)),
             scrub_passes=int(doc.get("scrub_passes", 0)),

@@ -79,6 +79,11 @@ class FairShareLink:
         self._rebalance_pending = False
         self.total_bytes = 0.0
         self.failed = False
+        #: ``fn(link, failed)`` callbacks fired on actual up/down
+        #: transitions (never on redundant fail/repair calls): synchronous
+        #: bookkeeping with no kernel events, so subscribers (reconcile
+        #: daemons, outage accounting) stay fingerprint-neutral.
+        self.on_state_change: list = []
         self.utilization = TimeWeighted(sim)
         # Cached per-link byte series keyed to the obs bundle it belongs
         # to, so the per-transfer cost with observability on is two loads
@@ -95,11 +100,19 @@ class FairShareLink:
         fluid model has no per-packet granularity to lose.  Callers that
         need harsher semantics can interrupt their own waiting processes.
         """
+        if self.failed:
+            return
         self.failed = True
+        for fn in self.on_state_change:
+            fn(self, True)
 
     def repair(self) -> None:
         """Bring the link back up; admission resumes immediately."""
+        if not self.failed:
+            return
         self.failed = False
+        for fn in self.on_state_change:
+            fn(self, False)
 
     # -- public API -----------------------------------------------------------
 
@@ -225,17 +238,27 @@ class FcfsLink:
         self._slot = Resource(sim, capacity=1)
         self.total_bytes = 0.0
         self.failed = False
+        #: ``fn(link, failed)`` fired on transitions (see FairShareLink).
+        self.on_state_change: list = []
         self.utilization = TimeWeighted(sim)
         self._series_obs = None
         self._series = None
 
     def fail(self) -> None:
         """Flap the link down: new transfers fail with LinkDownError."""
+        if self.failed:
+            return
         self.failed = True
+        for fn in self.on_state_change:
+            fn(self, True)
 
     def repair(self) -> None:
         """Bring the link back up."""
+        if not self.failed:
+            return
         self.failed = False
+        for fn in self.on_state_change:
+            fn(self, False)
 
     @property
     def active_transfers(self) -> int:

@@ -302,6 +302,63 @@ class TestDisasterRecovery:
         sim.run(until=10.0)
         assert p.value.rpo_bytes > 0
 
+    def test_failed_site_returning_mid_recovery_rejoins_fenced(self):
+        """A site that comes back during the detection window must NOT
+        resume write authority: promotion still completes, the returned
+        home is fenced on the old epoch, and only reconciliation readmits
+        it as a replica."""
+        from repro.geo import EpochFencingError, ReconcileDaemon
+        sim = Simulator()
+        net, a, b, _c = ring(sim)
+        rep = GeoReplicator(sim, net)
+        dr = DisasterRecoveryCoordinator(sim, net, rep)
+        daemon = ReconcileDaemon(sim, net, rep, settle_delay=0.1).start()
+        rep.register("/f", ASYNC1, a)
+        out = {}
+
+        def proc():
+            old_epoch = rep.leases.epoch("/f")
+            yield rep.write("/f", mib(2), epoch=old_epoch)
+            yield sim.timeout(3.0)  # replica at b is current
+            recovery = dr.fail_site(a)
+            # Power comes back inside detection_delay + failover time —
+            # mid-recovery, before survivors finish promoting.
+            yield sim.timeout(dr.detection_delay / 2)
+            a.repair()
+            report = yield recovery
+            out["new_home"] = report.new_homes.get("/f")
+            out["epoch"] = rep.leases.epoch("/f")
+            out["fenced"] = rep.leases.fenced_holders("/f")
+            # The returned ex-home retries on its stale epoch: fenced.
+            try:
+                yield rep.write("/f", mib(1), epoch=old_epoch)
+                out["stale_write"] = "applied"
+            except EpochFencingError:
+                out["stale_write"] = "fenced"
+
+        p = sim.process(proc())
+        sim.run(until=p)
+        sim.run()
+        assert out["new_home"] == "b"
+        assert rep.files["/f"].home == "b"
+        assert out["epoch"] == 2
+        assert out["fenced"] == {"a"}
+        assert out["stale_write"] == "fenced"
+        # The repair up-transition fired *before* promotion recorded the
+        # fork, so the heal-triggered sweep saw nothing: the ex-home stays
+        # fenced until reconciliation actually runs (operator sweep).
+        assert rep.leases.fenced_holders("/f") == {"a"}
+        daemon.request_sweep()
+        sim.run()
+        # Reconciliation caught the rejoined site up and lifted the
+        # fence — as a *replica*, with authority still at b.
+        gf = rep.files["/f"]
+        assert "a" in gf.copies
+        assert gf.site_versions["a"] == gf.version
+        assert rep.leases.fenced_holders("/f") == set()
+        assert rep.leases.holder("/f") == "b"
+        assert daemon.summary()["sweeps"] >= 1
+
     def test_sync_policy_has_zero_rpo(self):
         sim = Simulator()
         net, a, _b, _c = ring(sim)
